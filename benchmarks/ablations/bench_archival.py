@@ -1,0 +1,78 @@
+"""Ablation — archival tier for aged versions (LHAM-inspired, §2.3).
+
+Moving old sorted segments to cold storage frees hot-tier capacity; the
+price is that historical reads against archived versions pay cold-disk
+I/O plus a network hop.  This bench quantifies both sides.
+"""
+
+import pathlib
+
+from repro import ColumnGroup, LogBase, LogBaseConfig, TableSchema
+from repro.bench.report import format_table
+from repro.wal.archive import ColdStorage, LogArchiver
+
+N_KEYS = 200
+VERSIONS = 4
+
+
+def run_experiment() -> dict[str, float]:
+    db = LogBase(3, LogBaseConfig(segment_size=256 * 1024))
+    db.create_table(
+        TableSchema("t", "k", (ColumnGroup("g", ("v",)),)),
+        only_servers=[db.cluster.servers[0].name],
+    )
+    server = db.cluster.servers[0]
+    keys = [str(i * 8_999_993).zfill(12).encode() for i in range(N_KEYS)]
+    old_versions: list[tuple[bytes, int]] = []
+    for round_no in range(VERSIONS):
+        for key in keys:
+            ts = server.write("t", key, {"g": b"x" * 500})
+            if round_no == 0:
+                old_versions.append((key, ts))
+    server.compact()
+    cutoff = old_versions[-1][1] + 1  # NB: every sorted segment qualifies
+    hot_before = server.log.total_bytes()
+
+    def historical_read_cost() -> float:
+        server.read_cache.clear()
+        server.machine.disk.invalidate_head()
+        before = server.machine.clock.now
+        for key, ts in old_versions[:40]:
+            server.read("t", key, "g", as_of=ts)
+        return server.machine.clock.now - before
+
+    cost_hot = historical_read_cost()
+    cold = ColdStorage(n_nodes=2, network=db.cluster.machines[0].network)
+    report = LogArchiver(server.log, cold).archive_older_than(10**9)
+    server.log._readers.clear()
+    cost_cold = historical_read_cost()
+    return {
+        "hot bytes before": hot_before,
+        "hot bytes after": server.log.total_bytes(),
+        "cold bytes": cold.stored_bytes(),
+        "segments moved": report.segments_moved,
+        "40 historical reads, hot (s)": cost_hot,
+        "40 historical reads, archived (s)": cost_cold,
+    }
+
+
+def test_archival_tradeoff(benchmark):
+    results = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    rows = [[name, value] for name, value in results.items()]
+    table = format_table(
+        "Ablation: archival tier (hot capacity vs historical-read cost)",
+        ["metric", "value"],
+        rows,
+    )
+    print("\n" + table)
+    out = pathlib.Path(__file__).parents[1] / "results"
+    out.mkdir(exist_ok=True)
+    (out / "ablation_archival.txt").write_text(table + "\n")
+    # Archival freed hot capacity...
+    assert results["hot bytes after"] < results["hot bytes before"] * 0.5
+    assert results["cold bytes"] > 0
+    # ...at a read-cost premium for archived history.
+    assert (
+        results["40 historical reads, archived (s)"]
+        > results["40 historical reads, hot (s)"]
+    )

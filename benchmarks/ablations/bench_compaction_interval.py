@@ -1,0 +1,82 @@
+"""Ablation — compaction frequency vs. range-scan latency (§3.6.5).
+
+"LogBase can support efficient range scan queries ... if the log
+compaction operation is performed at regular times."  This sweeps how
+much un-compacted tail has accumulated since the last compaction and
+measures the range-scan latency degradation.
+"""
+
+import pathlib
+import random
+
+from repro.bench.report import format_table
+from repro.config import LogBaseConfig
+from repro.core.cluster import LogBaseCluster
+from repro.core.client import Client
+from repro.core.schema import ColumnGroup, TableSchema
+
+SCHEMA = TableSchema("t", "id", (ColumnGroup("g", ("v",)),))
+BASE_RECORDS = 1200
+TAIL_FRACTIONS = [0.0, 0.25, 0.5, 1.0]  # un-compacted tail relative to base
+RANGE_TUPLES = 64
+REPEATS = 6
+
+
+def _scan_latency(server, keys: list[bytes], seed: int) -> float:
+    rng = random.Random(seed)
+    total = 0.0
+    for _ in range(REPEATS):
+        start_idx = rng.randrange(len(keys) - RANGE_TUPLES)
+        if server.read_cache is not None:
+            server.read_cache.clear()
+        server.machine.disk.invalidate_head()
+        before = server.machine.clock.now
+        list(
+            server.range_scan(
+                "t", "g", keys[start_idx], keys[start_idx + RANGE_TUPLES]
+            )
+        )
+        total += server.machine.clock.now - before
+    return 1000 * total / REPEATS
+
+
+def run_experiment() -> dict[float, float]:
+    results: dict[float, float] = {}
+    for tail_fraction in TAIL_FRACTIONS:
+        cluster = LogBaseCluster(3, LogBaseConfig(segment_size=1 << 20))
+        cluster.create_table(SCHEMA, only_servers=[cluster.servers[0].name])
+        client = Client(cluster.master, cluster.machines[0])
+        server = cluster.servers[0]
+        keys = sorted(
+            str(v).zfill(12).encode()
+            for v in random.Random(3).sample(range(2_000_000_000), BASE_RECORDS)
+        )
+        shuffled = list(keys)
+        random.Random(4).shuffle(shuffled)
+        n_tail = int(BASE_RECORDS * tail_fraction / (1 + tail_fraction))
+        base, tail = shuffled[: BASE_RECORDS - n_tail], shuffled[BASE_RECORDS - n_tail :]
+        for key in base:
+            client.put_raw("t", key, "g", b"x" * 500)
+        server.compact()  # the last regular compaction
+        for key in tail:  # updates arriving since
+            client.put_raw("t", key, "g", b"x" * 500)
+        results[tail_fraction] = _scan_latency(server, keys, seed=9)
+    return results
+
+
+def test_compaction_interval(benchmark):
+    results = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    rows = [[f"{frac:.2f}", ms] for frac, ms in results.items()]
+    table = format_table(
+        f"Ablation: un-compacted tail vs range-scan latency ({RANGE_TUPLES} tuples)",
+        ["tail fraction", "scan ms"],
+        rows,
+    )
+    print("\n" + table)
+    out = pathlib.Path(__file__).parents[1] / "results"
+    out.mkdir(exist_ok=True)
+    (out / "ablation_compaction_interval.txt").write_text(table + "\n")
+    # Freshly compacted scans are fastest; latency grows with the tail.
+    assert results[0.0] < results[0.5]
+    assert results[0.5] < results[1.0] * 1.05
+    assert results[1.0] > 2 * results[0.0]

@@ -1,0 +1,104 @@
+"""Ablation — entity-group key design vs scattered keys (§3.2, §3.7.2).
+
+"By cleverly designing the key of records, all data related to a user
+could have the same key prefix ... In this case, executing transactions
+is not expensive since the costly two-phase commit can be avoided."
+This bench runs the same two-record transactions with co-located keys
+(entity groups) and with scattered keys, and measures commit cost and
+message counts; it also reports the Schism-style partitioner's advantage
+on the scattered trace.
+"""
+
+import pathlib
+import random
+
+from repro import ColumnGroup, LogBase, LogBaseConfig, TableSchema
+from repro.bench.report import format_table
+from repro.core.workload_partition import WorkloadPartitioner
+
+N_TXNS = 120
+
+
+def _fresh_db() -> LogBase:
+    db = LogBase(3, LogBaseConfig(segment_size=512 * 1024))
+    db.create_table(TableSchema("data", "k", (ColumnGroup("g", ("v",)),)))
+    return db
+
+
+def _run_transactions(db: LogBase, pairs) -> tuple[float, float]:
+    """Returns (mean commit seconds, total messages)."""
+    msgs_before = sum(m.counters.get("net.messages") for m in db.cluster.machines)
+    clock_before = sum(m.clock.now for m in db.cluster.machines)
+    for a, b in pairs:
+        txn = db.begin()
+        txn.write("data", a, "g", {"v": b"1"})
+        txn.write("data", b, "g", {"v": b"2"})
+        txn.commit()
+    elapsed = sum(m.clock.now for m in db.cluster.machines) - clock_before
+    msgs = sum(m.counters.get("net.messages") for m in db.cluster.machines) - msgs_before
+    return elapsed / len(pairs), msgs
+
+
+def run_experiment() -> dict[str, tuple[float, float, float]]:
+    rng = random.Random(17)
+    # Entity-group pairs: second key shares the first's prefix region.
+    grouped_pairs = []
+    for _ in range(N_TXNS):
+        base = rng.randrange(1_900_000_000)
+        key = str(base).zfill(12).encode()
+        grouped_pairs.append((key, key + b"-sub"))
+    # Scattered pairs: two uniformly random keys (usually different tablets).
+    scattered_pairs = [
+        (
+            str(rng.randrange(2_000_000_000)).zfill(12).encode(),
+            str(rng.randrange(2_000_000_000)).zfill(12).encode(),
+        )
+        for _ in range(N_TXNS)
+    ]
+
+    db = _fresh_db()
+    grouped_cost, grouped_msgs = _run_transactions(db, grouped_pairs)
+    db = _fresh_db()
+    scattered_cost, scattered_msgs = _run_transactions(db, scattered_pairs)
+
+    # What a Schism-style repartitioning would recover on the scattered
+    # trace (advisor only; routing stays range-based in the system).
+    trace = [set(pair) for pair in scattered_pairs]
+    comparison = WorkloadPartitioner(3).compare(trace)
+    return {
+        "entity groups": (grouped_cost, grouped_msgs, 0.0),
+        "scattered": (
+            scattered_cost,
+            scattered_msgs,
+            comparison["range"].distributed_fraction(trace),
+        ),
+        "scattered + schism": (
+            scattered_cost,
+            scattered_msgs,
+            comparison["workload-driven"].distributed_fraction(trace),
+        ),
+    }
+
+
+def test_entity_groups_avoid_2pc(benchmark):
+    results = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    rows = [
+        [name, 1000 * cost, msgs, frac]
+        for name, (cost, msgs, frac) in results.items()
+    ]
+    table = format_table(
+        "Ablation: entity-group keys vs scattered keys (2-record txns)",
+        ["key design", "commit ms", "messages", "distributed txn fraction"],
+        rows,
+    )
+    print("\n" + table)
+    out = pathlib.Path(__file__).parents[1] / "results"
+    out.mkdir(exist_ok=True)
+    (out / "ablation_entity_groups.txt").write_text(table + "\n")
+    grouped = results["entity groups"]
+    scattered = results["scattered"]
+    # Entity groups: cheaper commits, fewer messages (no 2PC rounds).
+    assert grouped[0] < scattered[0]
+    assert grouped[1] < scattered[1]
+    # The workload-driven partitioner recovers most co-location.
+    assert results["scattered + schism"][2] < scattered[2]

@@ -1,0 +1,45 @@
+"""Figure 6 — sequential write: LogBase outperforms HBase by ~50 %.
+
+Paper setup: insert 250 K/500 K/1 M 1 KB records into one tablet server
+over a 3-node HDFS (scaled counts here).  LogBase writes each record once
+(the log *is* the data); HBase writes it to the WAL and again through the
+memtable flush, so its insert time should be roughly double.
+"""
+
+from conftest import MICRO_COUNTS, load_keys_single_server, micro_pair
+
+
+def run_experiment() -> dict[str, dict[int, float]]:
+    series: dict[str, dict[int, float]] = {"LogBase": {}, "HBase": {}}
+    for count in MICRO_COUNTS:
+        logbase, hbase = micro_pair(count)
+        _, lb_seconds = load_keys_single_server(logbase, count)
+        _, hb_seconds = load_keys_single_server(hbase, count)
+        series["LogBase"][count] = lb_seconds
+        series["HBase"][count] = hb_seconds
+    return series
+
+
+def test_fig06_sequential_write(benchmark, report_series):
+    series = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    report_series(
+        "fig06",
+        "Figure 6: Sequential Write (simulated sec)",
+        "tuples",
+        series,
+    )
+    for count in MICRO_COUNTS:
+        lb, hb = series["LogBase"][count], series["HBase"][count]
+        # Paper: "LogBase outperforms HBase by 50%" (HBase ~2x slower).
+        # Fixed per-file costs (flush/compaction seeks) inflate HBase's
+        # absolute factor at simulation scale, so the absolute bound is
+        # loose and the scale-invariant check below is on the slope.
+        assert hb > 1.4 * lb, f"HBase should be ~2x slower at {count}: {hb} vs {lb}"
+    # Marginal cost per record (the figure's slope) carries the paper's
+    # ~2x factor: constants cancel between dataset sizes.
+    lb_slope = series["LogBase"][MICRO_COUNTS[-1]] - series["LogBase"][MICRO_COUNTS[0]]
+    hb_slope = series["HBase"][MICRO_COUNTS[-1]] - series["HBase"][MICRO_COUNTS[0]]
+    assert lb_slope > 0
+    assert 1.4 * lb_slope < hb_slope < 4.0 * lb_slope, (
+        f"marginal ratio {hb_slope / lb_slope:.2f} outside the paper's ~2x"
+    )

@@ -1,0 +1,39 @@
+"""Figure 7 — random reads without cache: LogBase beats HBase.
+
+LogBase's dense in-memory index resolves a cold point read with a single
+seek directly to the record in the log.  HBase must consult sparse block
+indexes across its data files and fetch a whole 64 KB block per probe.
+"""
+
+from conftest import READ_COUNTS, load_keys_single_server, micro_pair
+from repro.bench.runner import run_random_reads
+
+LOADED = 4000  # paper: 1 M records loaded before the read phase
+
+
+def run_experiment() -> dict[str, dict[int, float]]:
+    logbase, hbase = micro_pair(LOADED)
+    lb_keys, _ = load_keys_single_server(logbase, LOADED)
+    hb_keys, _ = load_keys_single_server(hbase, LOADED)
+    series: dict[str, dict[int, float]] = {"LogBase": {}, "HBase": {}}
+    for n_reads in READ_COUNTS:
+        series["LogBase"][n_reads] = run_random_reads(
+            logbase, lb_keys, n_reads, cold=True
+        )
+        series["HBase"][n_reads] = run_random_reads(hbase, hb_keys, n_reads, cold=True)
+    return series
+
+
+def test_fig07_random_read_nocache(benchmark, report_series):
+    series = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    report_series(
+        "fig07",
+        "Figure 7: Random Read without Cache (simulated sec)",
+        "reads",
+        series,
+    )
+    for n_reads in READ_COUNTS:
+        lb, hb = series["LogBase"][n_reads], series["HBase"][n_reads]
+        assert lb < hb, f"LogBase must win cold reads at {n_reads}: {lb} vs {hb}"
+    # Read cost scales with the number of reads.
+    assert series["HBase"][READ_COUNTS[-1]] > series["HBase"][READ_COUNTS[0]]

@@ -1,0 +1,55 @@
+"""Figure 9 — sequential scan: LogBase slightly slower than HBase.
+
+LogBase scans log files whose entries carry extra log metadata (table,
+tablet, group per entry) while HBase scans leaner data files, so LogBase
+pays a modest byte overhead on full scans.
+"""
+
+from conftest import MICRO_COUNTS, load_keys_single_server, micro_pair
+from repro.bench.runner import run_sequential_scan
+
+
+def run_experiment() -> dict[str, dict[int, float]]:
+    series: dict[str, dict[int, float]] = {"LogBase": {}, "HBase": {}}
+    for count in MICRO_COUNTS:
+        logbase, hbase = micro_pair(count)
+        load_keys_single_server(logbase, count)
+        load_keys_single_server(hbase, count)
+        # Merge HBase stores to one file each, matching LogBase's single
+        # log segment: at paper scale (64 MB files over 1 GB/node) per-file
+        # seeks amortize away, so equal file counts isolate the per-entry
+        # byte overhead Figure 9 is about.
+        for server in hbase.cluster.servers:
+            for store in list(server._sstables):
+                server.minor_compact(store)
+        # Cold *data*: drop record/block caches and park the disk heads,
+        # but keep file-open metadata (SSTable index blocks) resident —
+        # a table scan opens each file once either way.  What Figure 9
+        # isolates is the per-entry log metadata LogBase carries.
+        logbase.drop_caches()
+        for server in hbase.cluster.servers:
+            server.block_cache.clear()
+        for machine in hbase.cluster.machines:
+            machine.disk.invalidate_head()
+        lb_rows, lb_seconds = run_sequential_scan(logbase)
+        hb_rows, hb_seconds = run_sequential_scan(hbase)
+        assert lb_rows == hb_rows == count
+        series["LogBase"][count] = lb_seconds
+        series["HBase"][count] = hb_seconds
+    return series
+
+
+def test_fig09_sequential_scan(benchmark, report_series):
+    series = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    report_series(
+        "fig09",
+        "Figure 9: Sequential Scan (simulated sec)",
+        "tuples",
+        series,
+    )
+    for count in MICRO_COUNTS:
+        lb, hb = series["LogBase"][count], series["HBase"][count]
+        # Paper: "slightly slower" — LogBase within ~2x but not faster by much.
+        assert lb > 0.8 * hb, f"LogBase should not be much faster at {count}"
+        assert lb < 3.0 * hb, f"LogBase should be only slightly slower at {count}"
+    assert series["LogBase"][MICRO_COUNTS[-1]] > series["LogBase"][MICRO_COUNTS[0]]

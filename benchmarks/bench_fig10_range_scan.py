@@ -1,0 +1,59 @@
+"""Figure 10 — range scans: LogBase loses before compaction, wins after.
+
+Before compaction a range scan follows index pointers scattered through
+the log (one random read per tuple).  After compaction the log is sorted
+and clustered by key, so the same pointers read sequentially — and the
+dense in-memory index locates the first block faster than HBase's sparse
+index, making compacted LogBase the fastest of the three lines.
+"""
+
+from conftest import RANGE_SIZES, load_keys_single_server, micro_pair
+from repro.bench.runner import run_range_scans
+
+LOADED = 2000
+
+
+def run_experiment() -> dict[str, dict[int, float]]:
+    logbase, hbase = micro_pair(LOADED)
+    # Random arrival order: the log is unclustered until compaction runs.
+    lb_keys, _ = load_keys_single_server(logbase, LOADED, shuffle=True)
+    hb_keys, _ = load_keys_single_server(hbase, LOADED, shuffle=True)
+    series: dict[str, dict[int, float]] = {}
+    series["LogBase before compaction"] = {
+        size: 1000 * latency
+        for size, latency in run_range_scans(logbase, lb_keys, RANGE_SIZES).items()
+    }
+    logbase.compact_all()
+    series["LogBase after compaction"] = {
+        size: 1000 * latency
+        for size, latency in run_range_scans(logbase, lb_keys, RANGE_SIZES).items()
+    }
+    series["HBase"] = {
+        size: 1000 * latency
+        for size, latency in run_range_scans(hbase, hb_keys, RANGE_SIZES).items()
+    }
+    return series
+
+
+def test_fig10_range_scan(benchmark, report_series):
+    series = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    report_series(
+        "fig10",
+        "Figure 10: Range Scan Latency (simulated ms)",
+        "tuples",
+        series,
+    )
+    for size in RANGE_SIZES:
+        before = series["LogBase before compaction"][size]
+        after = series["LogBase after compaction"][size]
+        hbase = series["HBase"][size]
+        # Pre-compaction LogBase pays scattered random reads: worst line.
+        assert before > hbase, f"uncompacted LogBase should lose at {size}"
+        # Compaction clusters the data: now at least competitive with HBase.
+        assert after < before, f"compaction must help at {size}"
+        assert after <= hbase * 1.2, f"compacted LogBase should win at {size}"
+    # Larger ranges cost more for the scattered case.
+    assert (
+        series["LogBase before compaction"][RANGE_SIZES[-1]]
+        > series["LogBase before compaction"][RANGE_SIZES[0]]
+    )

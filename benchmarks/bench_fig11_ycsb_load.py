@@ -1,0 +1,46 @@
+"""Figure 11 — YCSB parallel data loading: LogBase takes ~half HBase's time.
+
+One benchmark client per node loads records in parallel; the insert time
+stays roughly flat as nodes (and data) scale together, and LogBase's
+single write per record keeps it at about half of HBase throughout.
+"""
+
+from conftest import NODE_COUNTS, RECORD_SIZE, make_hbase, make_logbase
+from repro.bench.runner import run_load
+from repro.bench.ycsb import YCSBWorkload
+
+# More records per node than the mixed-phase suite: the load benchmark's
+# flat-scaling claim needs per-server batches large enough that the fixed
+# per-flush cost amortizes (as it does at the paper's 1 M records/node).
+LOAD_RECORDS = 600
+
+
+def run_experiment() -> dict[str, dict[int, float]]:
+    series: dict[str, dict[int, float]] = {"LogBase": {}, "HBase": {}}
+    for n_nodes in NODE_COUNTS:
+        for name, factory in (("LogBase", make_logbase), ("HBase", make_hbase)):
+            workload = YCSBWorkload(
+                records_per_node=LOAD_RECORDS, record_size=RECORD_SIZE
+            )
+            adapter = factory(
+                n_nodes, records_per_node=LOAD_RECORDS, record_size=RECORD_SIZE
+            )
+            series[name][n_nodes] = run_load(adapter, workload).seconds
+    return series
+
+
+def test_fig11_ycsb_load(benchmark, report_series):
+    series = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    report_series(
+        "fig11",
+        "Figure 11: YCSB Insert Time (simulated sec)",
+        "nodes",
+        series,
+    )
+    for n_nodes in NODE_COUNTS:
+        lb, hb = series["LogBase"][n_nodes], series["HBase"][n_nodes]
+        # "only spends about half of the time to insert data"
+        assert hb > 1.4 * lb, f"HBase should take ~2x at {n_nodes} nodes"
+    # Elastic scaling: per-node work constant, so load time stays ~flat.
+    lb_small, lb_large = series["LogBase"][NODE_COUNTS[0]], series["LogBase"][NODE_COUNTS[-1]]
+    assert lb_large < 2.5 * lb_small

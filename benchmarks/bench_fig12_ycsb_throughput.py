@@ -1,0 +1,50 @@
+"""Figure 12 — YCSB mixed throughput vs. cluster size.
+
+Both systems scale near-linearly; the 95 %-update mix outruns the 75 %
+mix (writes are cheaper than reads in both systems); LogBase beats HBase
+at every point.
+"""
+
+from conftest import NODE_COUNTS, ycsb_scalability_suite
+
+
+def run_experiment() -> dict[str, dict[int, float]]:
+    suite = ycsb_scalability_suite()
+    series: dict[str, dict[int, float]] = {}
+    for system in ("LogBase", "HBase"):
+        for mix in (0.75, 0.95):
+            label = f"{system} {int(mix * 100)}% update"
+            series[label] = {
+                n: suite[(system, mix, n)].throughput for n in NODE_COUNTS
+            }
+    return series
+
+
+def test_fig12_mixed_throughput(benchmark, report_series):
+    series = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    report_series(
+        "fig12",
+        "Figure 12: Mixed Throughput (ops per simulated sec)",
+        "nodes",
+        series,
+    )
+    for n_nodes in NODE_COUNTS:
+        for mix in (75, 95):
+            lb = series[f"LogBase {mix}% update"][n_nodes]
+            hb = series[f"HBase {mix}% update"][n_nodes]
+            assert lb > hb, f"LogBase must lead at {n_nodes} nodes, {mix}% mix"
+        # Higher update share -> higher throughput (10 % tolerance per
+        # point for cache noise at simulation scale).
+        for system in ("LogBase", "HBase"):
+            assert (
+                series[f"{system} 95% update"][n_nodes]
+                > 0.9 * series[f"{system} 75% update"][n_nodes]
+            )
+    # In aggregate the 95 % mix strictly outruns the 75 % mix.
+    for system in ("LogBase", "HBase"):
+        assert sum(series[f"{system} 95% update"].values()) > sum(
+            series[f"{system} 75% update"].values()
+        )
+    # Scalability: throughput grows substantially from 3 to 24 nodes.
+    lb95 = series["LogBase 95% update"]
+    assert lb95[NODE_COUNTS[-1]] > 3 * lb95[NODE_COUNTS[0]]

@@ -1,0 +1,40 @@
+"""Figure 13 — update latency: flat with scale, LogBase below HBase.
+
+LogBase's update is one sequential log append; HBase additionally runs
+memstore maintenance and stalls whole writes behind synchronous memstore
+flushes, raising its mean update latency.
+"""
+
+from conftest import NODE_COUNTS, ycsb_scalability_suite
+
+
+def run_experiment() -> dict[str, dict[int, float]]:
+    suite = ycsb_scalability_suite()
+    series: dict[str, dict[int, float]] = {}
+    for system in ("LogBase", "HBase"):
+        for mix in (0.75, 0.95):
+            label = f"{system} {int(mix * 100)}% update"
+            series[label] = {
+                n: suite[(system, mix, n)].mean_update_ms for n in NODE_COUNTS
+            }
+    return series
+
+
+def test_fig13_update_latency(benchmark, report_series):
+    series = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    report_series(
+        "fig13",
+        "Figure 13: Update Latency (simulated ms)",
+        "nodes",
+        series,
+    )
+    for n_nodes in NODE_COUNTS:
+        for mix in (75, 95):
+            lb = series[f"LogBase {mix}% update"][n_nodes]
+            hb = series[f"HBase {mix}% update"][n_nodes]
+            assert lb < hb, f"LogBase update latency must be lower at {n_nodes}"
+            # Sub-millisecond log appends, as in the paper's 0.05-0.25 ms.
+            assert lb < 2.0
+    # Flat latency under scale-out (elastic scaling property).
+    for label, points in series.items():
+        assert max(points.values()) < 4 * max(min(points.values()), 1e-6), label

@@ -1,0 +1,35 @@
+"""Figure 14 — read latency: flat with scale, LogBase below HBase.
+
+With the large distributed key space the block cache helps HBase less
+(§4.3), while LogBase's in-memory index turns a cache miss into a single
+log seek.
+"""
+
+from conftest import NODE_COUNTS, ycsb_scalability_suite
+
+
+def run_experiment() -> dict[str, dict[int, float]]:
+    suite = ycsb_scalability_suite()
+    series: dict[str, dict[int, float]] = {}
+    for system in ("LogBase", "HBase"):
+        for mix in (0.75, 0.95):
+            label = f"{system} {int(mix * 100)}% update"
+            series[label] = {
+                n: suite[(system, mix, n)].mean_read_ms for n in NODE_COUNTS
+            }
+    return series
+
+
+def test_fig14_read_latency(benchmark, report_series):
+    series = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    report_series(
+        "fig14",
+        "Figure 14: Read Latency (simulated ms)",
+        "nodes",
+        series,
+    )
+    for n_nodes in NODE_COUNTS:
+        for mix in (75, 95):
+            lb = series[f"LogBase {mix}% update"][n_nodes]
+            hb = series[f"HBase {mix}% update"][n_nodes]
+            assert lb < hb, f"LogBase read latency must be lower at {n_nodes} nodes"

@@ -1,0 +1,62 @@
+"""Figure 15 — TPC-W transaction latency across mixes and cluster sizes.
+
+Browsing and shopping mixes (mostly read-only transactions that always
+commit without conflict checks) stay flat and low; the ordering mix pays
+for more update commits (locking, validation, log persistence).
+"""
+
+from conftest import emit
+from repro import LogBase, LogBaseConfig
+from repro.bench.report import format_series
+from repro.bench.tpcw import TPCW_MIXES, TPCWWorkload
+from repro.bench.tpcw_runner import run_tpcw
+
+NODE_COUNTS = [3, 6, 12, 24]
+ENTITIES_PER_NODE = 60
+TXNS_PER_NODE = 40
+
+_cache: dict = {}
+
+
+def tpcw_suite() -> dict:
+    """One TPC-W run per (mix, nodes); shared with Figure 16."""
+    if _cache:
+        return _cache
+    for mix in TPCW_MIXES:
+        for n_nodes in NODE_COUNTS:
+            db = LogBase(n_nodes, LogBaseConfig(segment_size=256 * 1024))
+            workload = TPCWWorkload(
+                products_per_node=ENTITIES_PER_NODE,
+                customers_per_node=ENTITIES_PER_NODE,
+                mix=mix,
+            )
+            db.cluster.reset_clocks()
+            _cache[(mix, n_nodes)] = run_tpcw(db, workload, TXNS_PER_NODE)
+    return _cache
+
+
+def run_experiment() -> dict[str, dict[int, float]]:
+    suite = tpcw_suite()
+    return {
+        f"{mix} mix": {n: suite[(mix, n)].mean_latency_ms for n in NODE_COUNTS}
+        for mix in TPCW_MIXES
+    }
+
+
+def test_fig15_tpcw_latency(benchmark, report_series):
+    series = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    report_series(
+        "fig15",
+        "Figure 15: TPC-W Transaction Latency (simulated ms)",
+        "nodes",
+        series,
+    )
+    for n_nodes in NODE_COUNTS:
+        browsing = series["browsing mix"][n_nodes]
+        ordering = series["ordering mix"][n_nodes]
+        # More update transactions -> higher mean latency.
+        assert ordering > browsing, f"ordering must cost more at {n_nodes} nodes"
+    # Near-flat latency under scale-out for the read-dominated mixes.
+    for mix in ("browsing mix", "shopping mix"):
+        points = series[mix]
+        assert max(points.values()) < 4 * min(points.values()), mix

@@ -1,0 +1,35 @@
+"""Figure 16 — TPC-W transaction throughput scales with cluster size.
+
+Browsing and shopping mixes scale near-linearly (read-only transactions
+commit without conflict checks); browsing > shopping > ordering at every
+cluster size.
+"""
+
+from bench_fig15_tpcw_latency import NODE_COUNTS, tpcw_suite
+from repro.bench.tpcw import TPCW_MIXES
+
+
+def run_experiment() -> dict[str, dict[int, float]]:
+    suite = tpcw_suite()
+    return {
+        f"{mix} mix": {n: suite[(mix, n)].throughput for n in NODE_COUNTS}
+        for mix in TPCW_MIXES
+    }
+
+
+def test_fig16_tpcw_throughput(benchmark, report_series):
+    series = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    report_series(
+        "fig16",
+        "Figure 16: TPC-W Transaction Throughput (TPS, simulated)",
+        "nodes",
+        series,
+    )
+    for n_nodes in NODE_COUNTS:
+        browsing = series["browsing mix"][n_nodes]
+        shopping = series["shopping mix"][n_nodes]
+        ordering = series["ordering mix"][n_nodes]
+        assert browsing > shopping > ordering, f"mix ordering broken at {n_nodes}"
+    # Scalability: browsing throughput grows substantially from 3 to 24.
+    browsing = series["browsing mix"]
+    assert browsing[NODE_COUNTS[-1]] > 3 * browsing[NODE_COUNTS[0]]

@@ -1,0 +1,66 @@
+"""Figure 17 — checkpoint cost: writing is cheaper than reloading.
+
+The paper's explanation: HDFS is optimized for high write throughput, so
+persisting the in-memory indexes costs less than reading the index files
+back — useful because checkpoints are written far more often than loaded.
+Index sizes are scaled from the thresholds the paper varies
+(250 MB/500 MB/1 GB of 1 KB records = 250 K/500 K/1 M index entries,
+scaled by 10x here).
+"""
+
+from repro import LogBase, LogBaseConfig
+from repro.bench.adapters import USERTABLE_SCHEMA
+from repro.bench.ycsb import make_key
+from repro.wal.record import LogPointer
+
+ENTRY_COUNTS = [25_000, 50_000, 100_000]  # 250 MB / 500 MB / 1 GB of data
+
+
+def _populate_index(server, n_entries: int) -> None:
+    """Fill the server's index directly (the checkpoint cost depends only
+    on index size, not on how the data got there)."""
+    index = server.index_for("usertable", make_key(0), "g")
+    for i in range(n_entries):
+        index.insert(make_key(i * 17), i + 1, LogPointer(1, i * 1060, 1060))
+
+
+def run_experiment() -> dict[str, dict[int, float]]:
+    series: dict[str, dict[int, float]] = {"Write checkpoint": {}, "Reload checkpoint": {}}
+    for n_entries in ENTRY_COUNTS:
+        db = LogBase(3, LogBaseConfig())
+        db.create_table(USERTABLE_SCHEMA, only_servers=[db.cluster.servers[0].name])
+        server = db.cluster.servers[0]
+        manager = db.cluster.checkpoints[server.name]
+        _populate_index(server, n_entries)
+
+        before = server.machine.clock.now
+        manager.write_checkpoint()
+        series["Write checkpoint"][n_entries] = server.machine.clock.now - before
+
+        tablets = list(server.tablets.values())
+        server.crash()
+        server.restart()
+        for tablet in tablets:
+            server.assign_tablet(tablet)
+        before = server.machine.clock.now
+        manager.load_checkpoint()
+        series["Reload checkpoint"][n_entries] = server.machine.clock.now - before
+    return series
+
+
+def test_fig17_checkpoint_cost(benchmark, report_series):
+    series = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    report_series(
+        "fig17",
+        "Figure 17: Checkpoint Cost (simulated sec)",
+        "index entries",
+        series,
+    )
+    for n_entries in ENTRY_COUNTS:
+        write = series["Write checkpoint"][n_entries]
+        reload = series["Reload checkpoint"][n_entries]
+        # "LogBase takes less time to write a checkpoint than to reload"
+        assert write < reload, f"write must beat reload at {n_entries}"
+    # Cost grows with the amount of indexed data.
+    assert series["Write checkpoint"][ENTRY_COUNTS[-1]] > series["Write checkpoint"][ENTRY_COUNTS[0]]
+    assert series["Reload checkpoint"][ENTRY_COUNTS[-1]] > series["Reload checkpoint"][ENTRY_COUNTS[0]]

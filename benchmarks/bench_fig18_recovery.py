@@ -1,0 +1,74 @@
+"""Figure 18 — recovery time, with vs. without a checkpoint.
+
+Paper setup (scaled): checkpoint taken at 500 MB of data, the server is
+killed between 600 MB and 900 MB.  With a checkpoint, recovery reloads
+the index files and redoes only the log tail after the checkpoint; without
+one, the whole log is scanned.
+"""
+
+from repro import LogBase, LogBaseConfig
+from repro.bench.adapters import USERTABLE_SCHEMA
+from repro.bench.ycsb import make_key
+from repro.core.recovery import recover_server
+
+# 10 KB records scale the paper's MB axis at 1:100 (500 records = the
+# paper's 500 MB checkpoint threshold) while keeping byte costs — which
+# dominate recovery at paper scale — well above fixed seek costs.
+CHECKPOINT_AT = 500
+KILL_SIZES = [600, 700, 800, 900]
+RECORD = b"x" * 10_000
+
+
+def _run_one(kill_at: int, with_checkpoint: bool) -> float:
+    db = LogBase(3, LogBaseConfig(segment_size=256 * 1024))
+    db.create_table(USERTABLE_SCHEMA, only_servers=[db.cluster.servers[0].name])
+    client = db.client()
+    server = db.cluster.servers[0]
+    manager = db.cluster.checkpoints[server.name]
+    for i in range(kill_at):
+        client.put_raw("usertable", make_key(i * 1_000_003), "g", RECORD)
+        if with_checkpoint and i == CHECKPOINT_AT:
+            manager.write_checkpoint()
+    tablets = list(server.tablets.values())
+    server.crash()
+    server.restart()
+    for tablet in tablets:
+        server.assign_tablet(tablet)
+    report = recover_server(server, manager)
+    assert report.used_checkpoint is with_checkpoint
+    return report.seconds
+
+
+def run_experiment() -> dict[str, dict[int, float]]:
+    series: dict[str, dict[int, float]] = {"With checkpoint": {}, "Without checkpoint": {}}
+    for kill_at in KILL_SIZES:
+        series["With checkpoint"][kill_at] = _run_one(kill_at, True)
+        series["Without checkpoint"][kill_at] = _run_one(kill_at, False)
+    return series
+
+
+def test_fig18_recovery_time(benchmark, report_series):
+    series = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    report_series(
+        "fig18",
+        "Figure 18: Recovery Time (simulated sec)",
+        "records at kill",
+        series,
+    )
+    for kill_at in KILL_SIZES:
+        with_ckpt = series["With checkpoint"][kill_at]
+        without = series["Without checkpoint"][kill_at]
+        # "recovery with checkpoint is significantly faster than without"
+        assert with_ckpt < 0.85 * without, f"checkpoint must speed recovery at {kill_at}"
+    # Without a checkpoint, recovery grows with total data; with one, only
+    # the post-checkpoint tail matters, so the growth is much gentler.
+    growth_without = (
+        series["Without checkpoint"][KILL_SIZES[-1]]
+        - series["Without checkpoint"][KILL_SIZES[0]]
+    )
+    growth_with = (
+        series["With checkpoint"][KILL_SIZES[-1]]
+        - series["With checkpoint"][KILL_SIZES[0]]
+    )
+    assert growth_without > 0
+    assert growth_with <= growth_without * 1.5

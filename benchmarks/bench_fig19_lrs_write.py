@@ -1,0 +1,37 @@
+"""Figure 19 — sequential write: LRS only slightly slower than LogBase.
+
+LRS shares LogBase's log-only write path; the extra cost is the LSM-tree
+index spilling sorted runs to the DFS (memtable flushes and merges),
+which the paper finds to be a modest overhead.
+"""
+
+from conftest import MICRO_COUNTS, RECORD_SIZE, load_keys_single_server, make_lrs, micro_pair
+
+
+def run_experiment() -> dict[str, dict[int, float]]:
+    series: dict[str, dict[int, float]] = {"LogBase": {}, "LRS": {}}
+    for count in MICRO_COUNTS:
+        logbase, _ = micro_pair(count)
+        lrs = make_lrs(
+            3, records_per_node=count, record_size=RECORD_SIZE, single_server=True
+        )
+        _, lb_seconds = load_keys_single_server(logbase, count)
+        _, lrs_seconds = load_keys_single_server(lrs, count)
+        series["LogBase"][count] = lb_seconds
+        series["LRS"][count] = lrs_seconds
+    return series
+
+
+def test_fig19_lrs_sequential_write(benchmark, report_series):
+    series = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    report_series(
+        "fig19",
+        "Figure 19: Sequential Write, LogBase vs LRS (simulated sec)",
+        "tuples",
+        series,
+    )
+    for count in MICRO_COUNTS:
+        lb, lrs = series["LogBase"][count], series["LRS"][count]
+        # "only slightly lower than that of LogBase"
+        assert lrs >= lb * 0.95, f"LRS should not beat LogBase at {count}"
+        assert lrs < lb * 2.0, f"LRS overhead should be modest at {count}"

@@ -1,0 +1,41 @@
+"""Figure 20 — random reads: LRS slightly slower than LogBase.
+
+A cold LRS read may need LSM index probes (bloom-filtered block reads
+from the DFS) before the single log seek, where LogBase resolves the
+pointer from memory; LevelDB's buffers keep the overhead moderate.
+"""
+
+from conftest import READ_COUNTS, RECORD_SIZE, load_keys_single_server, make_lrs, micro_pair
+from repro.bench.runner import run_random_reads
+
+LOADED = 4000
+
+
+def run_experiment() -> dict[str, dict[int, float]]:
+    logbase, _ = micro_pair(LOADED)
+    lrs = make_lrs(
+        3, records_per_node=LOADED, record_size=RECORD_SIZE, single_server=True
+    )
+    lb_keys, _ = load_keys_single_server(logbase, LOADED)
+    lrs_keys, _ = load_keys_single_server(lrs, LOADED)
+    series: dict[str, dict[int, float]] = {"LogBase": {}, "LRS": {}}
+    for n_reads in READ_COUNTS:
+        series["LogBase"][n_reads] = run_random_reads(
+            logbase, lb_keys, n_reads, cold=True
+        )
+        series["LRS"][n_reads] = run_random_reads(lrs, lrs_keys, n_reads, cold=True)
+    return series
+
+
+def test_fig20_lrs_random_read(benchmark, report_series):
+    series = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    report_series(
+        "fig20",
+        "Figure 20: Random Read without Cache, LogBase vs LRS (simulated sec)",
+        "reads",
+        series,
+    )
+    for n_reads in READ_COUNTS:
+        lb, lrs = series["LogBase"][n_reads], series["LRS"][n_reads]
+        assert lrs >= lb * 0.95, f"LRS should not beat LogBase at {n_reads}"
+        assert lrs < lb * 3.0, f"LRS read overhead should be moderate at {n_reads}"

@@ -1,0 +1,58 @@
+"""Figure 22 — write/read throughput vs. cluster size: LogBase ≥ LRS.
+
+Both systems scale with nodes; LogBase's in-memory index keeps it ahead
+on both operations, with LRS close behind (the paper's conclusion that
+spilling indexes via LSM-trees costs little throughput).
+"""
+
+from conftest import NODE_COUNTS, RECORD_SIZE, make_logbase, make_lrs
+from repro.bench.runner import run_load, run_mixed
+from repro.bench.ycsb import YCSBWorkload
+
+RECORDS = 400
+OPS = 80
+
+
+def run_experiment() -> dict[str, dict[int, float]]:
+    series: dict[str, dict[int, float]] = {
+        "LogBase write": {},
+        "LRS write": {},
+        "LogBase read": {},
+        "LRS read": {},
+    }
+    for n_nodes in NODE_COUNTS:
+        for name, factory in (("LogBase", make_logbase), ("LRS", make_lrs)):
+            write_wl = YCSBWorkload(
+                records_per_node=RECORDS, record_size=RECORD_SIZE, update_fraction=1.0
+            )
+            adapter = factory(n_nodes, records_per_node=RECORDS, record_size=RECORD_SIZE)
+            load = run_load(adapter, write_wl)
+            series[f"{name} write"][n_nodes] = load.throughput
+            adapter.reset_clocks()
+            read_wl = YCSBWorkload(
+                records_per_node=RECORDS, record_size=RECORD_SIZE, update_fraction=0.0
+            )
+            read_wl._keys = write_wl.keys
+            mixed = run_mixed(adapter, read_wl, OPS)
+            series[f"{name} read"][n_nodes] = mixed.throughput
+    return series
+
+
+def test_fig22_lrs_scalability(benchmark, report_series):
+    series = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    report_series(
+        "fig22",
+        "Figure 22: Throughput vs Nodes, LogBase vs LRS (ops/simulated sec)",
+        "nodes",
+        series,
+    )
+    for n_nodes in NODE_COUNTS:
+        assert (
+            series["LogBase write"][n_nodes] >= 0.95 * series["LRS write"][n_nodes]
+        ), f"LogBase write should lead at {n_nodes}"
+        assert (
+            series["LogBase read"][n_nodes] >= 0.95 * series["LRS read"][n_nodes]
+        ), f"LogBase read should lead at {n_nodes}"
+    # Both systems scale out.
+    for label in series:
+        assert series[label][NODE_COUNTS[-1]] > 2 * series[label][NODE_COUNTS[0]], label

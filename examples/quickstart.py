@@ -1,0 +1,74 @@
+"""Quickstart: a LogBase cluster in a few lines.
+
+Run with ``python examples/quickstart.py``.  Creates a 3-node cluster,
+defines a table with two column groups, writes and reads records, runs a
+snapshot-isolated transaction, reads a historical version, and shows the
+simulated I/O accounting.
+"""
+
+from repro import ColumnGroup, LogBase, TableSchema
+
+
+def main() -> None:
+    # A 3-node cluster: each node runs a tablet server plus a DFS datanode;
+    # the log is 3-way replicated across them.
+    db = LogBase(n_nodes=3)
+
+    # Relational schema with column groups (§3.1-3.2): columns that are
+    # accessed together share a group and a physical partition.
+    db.create_table(
+        TableSchema(
+            "users",
+            "user_id",
+            (
+                ColumnGroup("profile", ("name", "email")),
+                ColumnGroup("activity", ("last_login",)),
+            ),
+        )
+    )
+
+    # Single-record writes go straight to the log (one I/O, §3.6.1).
+    alice = b"000000000042"
+    db.put(
+        "users",
+        alice,
+        {
+            "profile": {"name": b"Alice", "email": b"alice@example.com"},
+            "activity": {"last_login": b"2026-07-01"},
+        },
+    )
+    print("profile:", db.get("users", alice, "profile"))
+
+    # Updates create new versions; old ones stay readable in the log.
+    first_version = db.put(
+        "users", alice, {"activity": {"last_login": b"2026-07-05"}}
+    )
+    db.put("users", alice, {"activity": {"last_login": b"2026-07-06"}})
+    print("latest login:", db.get("users", alice, "activity"))
+    print(
+        "as of ts", first_version, ":",
+        db.get("users", alice, "activity", as_of=first_version),
+    )
+
+    # Multi-record transactions run under snapshot isolation (§3.7).
+    bob = b"000000000043"
+    txn = db.begin()
+    txn.write("users", bob, "profile", {"name": b"Bob", "email": b"bob@example.com"})
+    txn.write("users", bob, "activity", {"last_login": b"never"})
+    commit_ts = txn.commit()
+    print("transaction committed at", commit_ts)
+
+    # Range scans return the latest version per key, in key order.
+    rows = db.scan("users", "profile", b"000000000000", b"000000000099")
+    print("scan:", [(key, row["name"]) for key, row in rows])
+
+    # Tuple reconstruction collects every column group by primary key.
+    print("whole row:", db.get_row("users", bob))
+
+    # Everything above was charged to the simulated device models.
+    print("simulated cluster seconds:", round(db.cluster.elapsed_makespan(), 6))
+    print("cluster I/O counters:", db.cluster.total_counters())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,48 @@
+"""LogBase reproduction: a scalable log-structured database system.
+
+Reproduces Vo et al., *LogBase: A Scalable Log-structured Database System
+in the Cloud*, PVLDB 5(10), 2012 — the log-only storage architecture, its
+in-memory multiversion indexes, snapshot-isolated transactions, and the
+full simulated substrate (DFS, coordination service) plus both evaluation
+baselines (an HBase-style WAL+Data store and the LRS log-structured
+record store).
+
+Public entry points:
+
+* :class:`LogBase` — the database facade (cluster + transactions).
+* :class:`LogBaseConfig` — deployment knobs.
+* :class:`TableSchema` / :class:`ColumnGroup` — schema definition.
+* :mod:`repro.baselines` — the comparison systems.
+* :mod:`repro.bench` — YCSB/TPC-W workloads and the experiment harness.
+"""
+
+from repro.config import LogBaseConfig
+from repro.core.database import LogBase
+from repro.core.cluster import LogBaseCluster
+from repro.core.schema import ColumnGroup, TableSchema
+from repro.core.partition import KeyRange, QueryTrace, VerticalPartitioner
+from repro.core.workload_partition import WorkloadPartitioner
+from repro.errors import LogBaseError, TransactionAborted, ValidationConflict
+from repro.query import And, Eq, QueryEngine, Range
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "LogBase",
+    "LogBaseCluster",
+    "LogBaseConfig",
+    "TableSchema",
+    "ColumnGroup",
+    "KeyRange",
+    "QueryTrace",
+    "VerticalPartitioner",
+    "WorkloadPartitioner",
+    "QueryEngine",
+    "Eq",
+    "Range",
+    "And",
+    "LogBaseError",
+    "TransactionAborted",
+    "ValidationConflict",
+    "__version__",
+]

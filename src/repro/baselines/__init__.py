@@ -1,0 +1,15 @@
+"""The paper's comparison systems, built from scratch on the same substrate.
+
+* :mod:`repro.baselines.hbase` — a WAL+Data store modelled on HBase
+  0.90.3: write-ahead log plus memtables flushed to SSTables with sparse
+  block indexes and a block cache.
+* :mod:`repro.baselines.lrs` — the log-structured record-oriented system
+  of §4.6: LogBase's architecture and partitioning, data on disk, indexed
+  with an LSM-tree (LevelDB-like) instead of in-memory B-link trees.
+"""
+
+from repro.baselines.hbase.store import HBaseRegionServer
+from repro.baselines.hbase.cluster import HBaseCluster
+from repro.baselines.lrs.store import LRSCluster, make_lrs_config
+
+__all__ = ["HBaseRegionServer", "HBaseCluster", "LRSCluster", "make_lrs_config"]

@@ -1,0 +1,22 @@
+"""HBase-style WAL+Data baseline (§2.2, §4).
+
+Every write goes to the write-ahead log *and* (via the memtable) to a
+data file — the double write LogBase eliminates.  Reads hit the memtable,
+then the block cache, then SSTables: a sparse block index narrows the
+search to a 64 KB block which must be fetched and scanned, the extra I/O
+behind Figure 7.
+"""
+
+from repro.baselines.hbase.memtable import Memtable
+from repro.baselines.hbase.sstable import SSTable, SSTableWriter
+from repro.baselines.hbase.store import HBaseConfig, HBaseRegionServer
+from repro.baselines.hbase.cluster import HBaseCluster
+
+__all__ = [
+    "Memtable",
+    "SSTable",
+    "SSTableWriter",
+    "HBaseConfig",
+    "HBaseRegionServer",
+    "HBaseCluster",
+]

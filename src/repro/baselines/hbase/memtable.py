@@ -1,0 +1,76 @@
+"""The memtable (memstore): HBase's in-memory write buffer.
+
+Unlike LogBase's read cache, the memtable *stores data*: it holds every
+recent write and must be flushed to an SSTable in the DFS when full —
+"which incurs write bottlenecks in write-intensive applications"
+(§3.6.1).  Entries are multiversion: (key, timestamp) -> value, value
+None being a delete tombstone.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+Composite = tuple[bytes, int]
+
+
+class Memtable:
+    """Sorted multiversion in-memory buffer for one (tablet, group)."""
+
+    def __init__(self) -> None:
+        self._data: dict[Composite, bytes | None] = {}
+        self._bytes = 0
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    @property
+    def bytes_used(self) -> int:
+        """Payload bytes buffered (what counts against the flush size)."""
+        return self._bytes
+
+    def put(self, key: bytes, timestamp: int, value: bytes | None) -> None:
+        """Buffer one version (None value = delete tombstone)."""
+        composite = (key, timestamp)
+        old = self._data.get(composite)
+        if old is not None:
+            self._bytes -= len(key) + len(old) + 16
+        self._data[composite] = value
+        self._bytes += len(key) + (len(value) if value is not None else 0) + 16
+
+    def get_latest(self, key: bytes) -> tuple[int, bytes | None] | None:
+        """Newest buffered version of ``key`` as (timestamp, value)."""
+        best: tuple[int, bytes | None] | None = None
+        for (entry_key, ts), value in self._data.items():
+            if entry_key == key and (best is None or ts > best[0]):
+                best = (ts, value)
+        return best
+
+    def get_asof(self, key: bytes, timestamp: int) -> tuple[int, bytes | None] | None:
+        """Newest buffered version at/before ``timestamp``."""
+        best: tuple[int, bytes | None] | None = None
+        for (entry_key, ts), value in self._data.items():
+            if entry_key == key and ts <= timestamp and (best is None or ts > best[0]):
+                best = (ts, value)
+        return best
+
+    def sorted_entries(self) -> Iterator[tuple[bytes, int, bytes | None]]:
+        """All versions in (key, timestamp) order — the flush order that
+        keeps SSTables sorted and range scans fast."""
+        for key, ts in sorted(self._data):
+            yield key, ts, self._data[(key, ts)]
+
+    def range(
+        self, start_key: bytes, end_key: bytes
+    ) -> Iterator[tuple[bytes, int, bytes | None]]:
+        """Sorted versions with start_key <= key < end_key."""
+        for key, ts, value in self.sorted_entries():
+            if key >= end_key:
+                return
+            if key >= start_key:
+                yield key, ts, value
+
+    def clear(self) -> None:
+        """Empty the buffer (after a successful flush)."""
+        self._data.clear()
+        self._bytes = 0

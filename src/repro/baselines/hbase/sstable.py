@@ -1,0 +1,256 @@
+"""SSTables: HBase's immutable sorted data files.
+
+Layout::
+
+    file    := data_block* index_block trailer
+    block   := entry*                       (~64 KB, HBase default)
+    entry   := key_len key timestamp value_flag [value_len value]
+    index   := count (first_key_len first_key offset length)*
+    trailer := index_offset(u64 LE) index_length(u32 LE)
+               max_ts(u64 LE) entry_count(u64 LE) magic(4B)
+
+The block index is *sparse*: one entry per 64 KB block, so a point read
+must fetch and scan a whole block — the extra I/O LogBase's dense
+in-memory index avoids (§4.2.2).  The index block itself also lives in
+the file and costs a read the first time the table is opened.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Iterator
+
+from repro.dfs.filesystem import DFS
+from repro.errors import CorruptLogRecord
+from repro.sim.machine import Machine
+from repro.util.lru import LRUCache
+from repro.util.varint import decode_uvarint, encode_uvarint
+
+_TRAILER = struct.Struct("<QIQQ4s")
+_MAGIC = b"HSST"
+
+DEFAULT_BLOCK_SIZE = 64 * 1024
+
+Entry = tuple[bytes, int, bytes | None]  # key, timestamp, value (None=tombstone)
+
+
+def _encode_entry(key: bytes, timestamp: int, value: bytes | None) -> bytes:
+    out = bytearray()
+    out += encode_uvarint(len(key))
+    out += key
+    out += encode_uvarint(timestamp)
+    if value is None:
+        out.append(0)
+    else:
+        out.append(1)
+        out += encode_uvarint(len(value))
+        out += value
+    return bytes(out)
+
+
+def _decode_block(payload: bytes) -> list[Entry]:
+    entries: list[Entry] = []
+    pos = 0
+    while pos < len(payload):
+        n, pos = decode_uvarint(payload, pos)
+        key = payload[pos : pos + n]
+        pos += n
+        ts, pos = decode_uvarint(payload, pos)
+        flag = payload[pos]
+        pos += 1
+        value: bytes | None = None
+        if flag:
+            n, pos = decode_uvarint(payload, pos)
+            value = payload[pos : pos + n]
+            pos += n
+        entries.append((key, ts, value))
+    return entries
+
+
+class SSTableWriter:
+    """Streams sorted entries into a new SSTable file."""
+
+    def __init__(
+        self, dfs: DFS, path: str, machine: Machine, block_size: int = DEFAULT_BLOCK_SIZE
+    ) -> None:
+        self._writer = dfs.create(path, machine)
+        self._path = path
+        self._block_size = block_size
+        self._block = bytearray()
+        self._block_first: bytes | None = None
+        self._index: list[tuple[bytes, int, int]] = []
+        self._offset = 0
+        self._max_ts = 0
+        self._count = 0
+
+    def add(self, key: bytes, timestamp: int, value: bytes | None) -> None:
+        """Append one entry; entries must arrive in (key, ts) order."""
+        if self._block_first is None:
+            self._block_first = key
+        self._block += _encode_entry(key, timestamp, value)
+        self._max_ts = max(self._max_ts, timestamp)
+        self._count += 1
+        if len(self._block) >= self._block_size:
+            self._flush_block()
+
+    def _flush_block(self) -> None:
+        if not self._block:
+            return
+        payload = bytes(self._block)
+        self._writer.append(payload)
+        self._index.append((self._block_first or b"", self._offset, len(payload)))
+        self._offset += len(payload)
+        self._block = bytearray()
+        self._block_first = None
+
+    def finish(self) -> str:
+        """Write the index block and trailer; returns the file path."""
+        self._flush_block()
+        index = bytearray()
+        index += encode_uvarint(len(self._index))
+        for first_key, offset, length in self._index:
+            index += encode_uvarint(len(first_key))
+            index += first_key
+            index += encode_uvarint(offset)
+            index += encode_uvarint(length)
+        self._index_offset = self._offset
+        self._index_length = len(index)
+        self._writer.append(bytes(index))
+        self._writer.append(
+            _TRAILER.pack(
+                self._index_offset, self._index_length, self._max_ts, self._count, _MAGIC
+            )
+        )
+        self._writer.close()
+        return self._path
+
+    def open_result(self, dfs: DFS, machine: Machine) -> "SSTable":
+        """Open the finished table reusing the writer's in-memory metadata.
+
+        A region server that just flushed or compacted already holds the
+        file's index and trailer in memory (and the bytes in page cache),
+        so opening its own output charges no disk reads."""
+        return SSTable(
+            dfs,
+            self._path,
+            machine,
+            preloaded=(
+                list(self._index),
+                self._index_offset,
+                self._index_length,
+                self._max_ts,
+                self._count,
+            ),
+        )
+
+
+class SSTable:
+    """An open SSTable: sparse index in memory after the first load."""
+
+    def __init__(
+        self, dfs: DFS, path: str, machine: Machine, preloaded=None
+    ) -> None:
+        self._dfs = dfs
+        self.path = path
+        self._machine = machine
+        self._index: list[tuple[bytes, int, int]] | None = None
+        self.max_ts = 0
+        self.entry_count = 0
+        if preloaded is not None:
+            (
+                self._index,
+                self._index_offset,
+                self._index_length,
+                self.max_ts,
+                self.entry_count,
+            ) = preloaded
+            return
+        self._load_trailer()
+        # HBase loads the block index when an HFile is opened; keep that
+        # behaviour (cold-read experiments evict it explicitly).
+        self._block_index()
+
+    def _load_trailer(self) -> None:
+        reader = self._dfs.open(self.path, self._machine)
+        trailer = reader.read(reader.length - _TRAILER.size, _TRAILER.size)
+        index_offset, index_length, max_ts, count, magic = _TRAILER.unpack(trailer)
+        if magic != _MAGIC:
+            raise CorruptLogRecord(f"bad SSTable magic in {self.path}")
+        self.max_ts = max_ts
+        self.entry_count = count
+        self._index_offset = index_offset
+        self._index_length = index_length
+
+    def _block_index(self) -> list[tuple[bytes, int, int]]:
+        """Load the sparse block index (one extra read, then cached)."""
+        if self._index is None:
+            reader = self._dfs.open(self.path, self._machine)
+            payload = reader.read(self._index_offset, self._index_length)
+            pos = 0
+            count, pos = decode_uvarint(payload, pos)
+            index = []
+            for _ in range(count):
+                n, pos = decode_uvarint(payload, pos)
+                first_key = payload[pos : pos + n]
+                pos += n
+                offset, pos = decode_uvarint(payload, pos)
+                length, pos = decode_uvarint(payload, pos)
+                index.append((first_key, offset, length))
+            self._index = index
+        return self._index
+
+    def _read_block(
+        self, block_no: int, cache: LRUCache | None
+    ) -> list[Entry]:
+        if cache is not None:
+            cached = cache.get((self.path, block_no))
+            if cached is not None:
+                return cached
+        _, offset, length = self._block_index()[block_no]
+        payload = self._dfs.open(self.path, self._machine).read(offset, length)
+        block = _decode_block(payload)
+        if cache is not None:
+            cache.put((self.path, block_no), block)
+        return block
+
+    def _blocks_for_key(self, key: bytes) -> list[int]:
+        index = self._block_index()
+        chosen = []
+        for i, (first_key, _, _) in enumerate(index):
+            next_first = index[i + 1][0] if i + 1 < len(index) else None
+            if next_first is not None and next_first <= key:
+                continue
+            if first_key > key:
+                break
+            chosen.append(i)
+        return chosen
+
+    def get_versions(self, key: bytes, cache: LRUCache | None) -> list[tuple[int, bytes | None]]:
+        """All versions of ``key`` in this file, as (ts, value), ascending."""
+        versions = []
+        for block_no in self._blocks_for_key(key):
+            for entry_key, ts, value in self._read_block(block_no, cache):
+                if entry_key == key:
+                    versions.append((ts, value))
+        versions.sort()
+        return versions
+
+    def range(
+        self, start_key: bytes, end_key: bytes, cache: LRUCache | None
+    ) -> Iterator[Entry]:
+        """Sorted entries with start_key <= key < end_key."""
+        index = self._block_index()
+        for block_no, (first_key, _, _) in enumerate(index):
+            next_first = index[block_no + 1][0] if block_no + 1 < len(index) else None
+            if next_first is not None and next_first <= start_key:
+                continue
+            if first_key >= end_key:
+                break
+            for entry in self._read_block(block_no, cache):
+                if start_key <= entry[0] < end_key:
+                    yield entry
+
+    def scan(self, cache: LRUCache | None = None) -> Iterator[Entry]:
+        """Full sequential scan of the data blocks."""
+        for block_no in range(len(self._block_index())):
+            yield from self._read_block(block_no, cache)

@@ -1,0 +1,421 @@
+"""The HBase-style region server: WAL + memtables + SSTables (§3.6, right
+half of Figure 3).
+
+Every write is persisted to the write-ahead log *and* buffered in the
+memstore of its column group; when a memstore reaches its flush size the
+write path stalls while the whole memstore is written to a new SSTable in
+the DFS — the double write and flush stall that Figures 6 and 11-13 hang
+on.  Reads consult memstore, block cache, then SSTables newest-first, and
+a minor compaction merges SSTables once a store accumulates too many.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.baselines.hbase.memtable import Memtable
+from repro.baselines.hbase.sstable import SSTable, SSTableWriter
+from repro.config import GiB
+from repro.coordination.tso import TimestampOracle
+from repro.core.tablet import Tablet, TabletId
+from repro.dfs.filesystem import DFS
+from repro.errors import ServerDownError, TabletNotFound
+from repro.sim.machine import Machine
+from repro.util.lru import LRUCache
+from repro.wal.record import LogRecord, RecordType
+from repro.wal.repository import LogRepository
+
+StoreKey = tuple[str, str]  # (tablet id str, group)
+
+
+@dataclass
+class HBaseConfig:
+    """Region-server knobs (HBase 0.90.3 defaults, §4.1 settings).
+
+    ``memstore_flush_size`` is 64 MB in HBase; simulation runs scale it
+    down with the record count so flushes still occur (the cost model
+    charges true bytes either way).
+    """
+
+    heap_bytes: int = 4 * GiB
+    memstore_heap_fraction: float = 0.40   # "40% of heap for memtables"
+    block_cache_fraction: float = 0.20     # "20% for caching data blocks"
+    memstore_flush_size: int = 64 * 1024 * 1024
+    sstable_block_size: int = 64 * 1024
+    compaction_threshold: int = 3          # minor compaction trigger
+    segment_size: int = 64 * 1024 * 1024   # WAL segment roll size
+
+    @property
+    def block_cache_bytes(self) -> int:
+        return int(self.heap_bytes * self.block_cache_fraction)
+
+
+class HBaseRegionServer:
+    """One region server co-located with a datanode."""
+
+    def __init__(
+        self,
+        name: str,
+        machine: Machine,
+        dfs: DFS,
+        tso: TimestampOracle,
+        config: HBaseConfig | None = None,
+    ) -> None:
+        self.name = name
+        self.machine = machine
+        self.dfs = dfs
+        self.tso = tso
+        self.config = config if config is not None else HBaseConfig()
+        self.wal = LogRepository(
+            dfs, machine, f"/hbase/{name}/wal", self.config.segment_size
+        )
+        self.tablets: dict[str, Tablet] = {}
+        self._memstores: dict[StoreKey, Memtable] = {}
+        self._sstables: dict[StoreKey, list[SSTable]] = {}  # newest first
+        self._flush_counter = 0
+        self.block_cache: LRUCache = LRUCache(
+            byte_capacity=self.config.block_cache_bytes,
+            sizer=lambda block: sum(
+                len(k) + (len(v) if v is not None else 0) + 16 for k, _, v in block
+            ),
+        )
+        self.serving = True
+        self.flushes = 0
+        self.minor_compactions = 0
+
+    # -- lifecycle ----------------------------------------------------------------
+
+    def _require_serving(self) -> None:
+        if not self.serving or not self.machine.alive:
+            raise ServerDownError(f"region server {self.name} is down")
+
+    def crash(self) -> None:
+        """Kill the process; memstores and block cache are lost."""
+        self.serving = False
+        self._memstores.clear()
+        self.block_cache.clear()
+        self._sstables.clear()
+
+    def restart(self) -> None:
+        """Restart with empty memory; call :meth:`recover` afterwards."""
+        self.wal = LogRepository.reattach(
+            self.dfs, self.machine, f"/hbase/{self.name}/wal", self.config.segment_size
+        )
+        self.serving = True
+
+    # -- tablets ---------------------------------------------------------------------
+
+    def assign_tablet(self, tablet: Tablet) -> None:
+        """Serve ``tablet``: open its stores (and discover SSTables)."""
+        self.tablets[str(tablet.tablet_id)] = tablet
+        for group in tablet.schema.group_names:
+            store = (str(tablet.tablet_id), group)
+            self._memstores.setdefault(store, Memtable())
+            if store not in self._sstables:
+                self._sstables[store] = self._discover_sstables(store)
+
+    def _discover_sstables(self, store: StoreKey) -> list[SSTable]:
+        tablet_id, group = store
+        prefix = f"/hbase/{self.name}/data/{tablet_id}/{group}/"
+        tables = [
+            SSTable(self.dfs, path, self.machine)
+            for path in self.dfs.list_files(prefix)
+        ]
+        tables.sort(key=lambda t: t.path, reverse=True)  # newest first
+        return tables
+
+    def _route(self, table: str, key: bytes) -> Tablet:
+        for tablet in self.tablets.values():
+            if tablet.table == table and tablet.covers(key):
+                return tablet
+        raise TabletNotFound(f"server {self.name} has no tablet for {table}:{key!r}")
+
+    def _store(self, table: str, key: bytes, group: str) -> StoreKey:
+        tablet = self._route(table, key)
+        return (str(tablet.tablet_id), group)
+
+    # -- write path: WAL append + memstore + flush stall -------------------------------
+
+    def write(
+        self,
+        table: str,
+        key: bytes,
+        group_values: dict[str, bytes],
+        *,
+        timestamp: int | None = None,
+        txn_id: int = 0,
+    ) -> int:
+        """Insert/update: log to the WAL, buffer in the memstore, and flush
+        synchronously if the memstore fills — the WAL+Data double write."""
+        self._require_serving()
+        tablet = self._route(table, key)
+        if timestamp is None:
+            timestamp = self.tso.next_timestamp()
+        records = [
+            LogRecord(
+                record_type=RecordType.WRITE,
+                txn_id=txn_id,
+                table=table,
+                tablet=str(tablet.tablet_id),
+                key=key,
+                group=group,
+                timestamp=timestamp,
+                value=value,
+            )
+            for group, value in group_values.items()
+        ]
+        self.wal.append_batch(records)
+        for group, value in group_values.items():
+            store = (str(tablet.tablet_id), group)
+            memstore = self._memstores[store]
+            memstore.put(key, timestamp, value)
+            if memstore.bytes_used >= self.config.memstore_flush_size:
+                # "the write has to wait until the memtable is persisted
+                # successfully into HDFS before returning" (§4.3)
+                self.flush_store(store)
+        return timestamp
+
+    def write_batch(
+        self,
+        table: str,
+        items: list[tuple[bytes, dict[str, bytes]]],
+        *,
+        txn_id: int = 0,
+    ) -> list[int]:
+        """Batched insert path (HBase's client write buffer): one WAL
+        append for the batch, then memstore puts with their flush stalls."""
+        self._require_serving()
+        records: list[LogRecord] = []
+        staged: list[tuple[StoreKey, bytes, int, bytes]] = []
+        timestamps: list[int] = []
+        for key, group_values in items:
+            tablet = self._route(table, key)
+            timestamp = self.tso.next_timestamp()
+            timestamps.append(timestamp)
+            for group, value in group_values.items():
+                records.append(
+                    LogRecord(
+                        record_type=RecordType.WRITE,
+                        txn_id=txn_id,
+                        table=table,
+                        tablet=str(tablet.tablet_id),
+                        key=key,
+                        group=group,
+                        timestamp=timestamp,
+                        value=value,
+                    )
+                )
+                staged.append(((str(tablet.tablet_id), group), key, timestamp, value))
+        self.wal.append_batch(records)
+        for store, key, timestamp, value in staged:
+            memstore = self._memstores[store]
+            memstore.put(key, timestamp, value)
+            if memstore.bytes_used >= self.config.memstore_flush_size:
+                self.flush_store(store)
+        return timestamps
+
+    def flush_store(self, store: StoreKey) -> str | None:
+        """Flush one memstore to a new SSTable; returns its path."""
+        memstore = self._memstores[store]
+        if len(memstore) == 0:
+            return None
+        tablet_id, group = store
+        self._flush_counter += 1
+        path = (
+            f"/hbase/{self.name}/data/{tablet_id}/{group}/"
+            f"sst-{self._flush_counter:08d}.sst"
+        )
+        writer = SSTableWriter(
+            self.dfs, path, self.machine, self.config.sstable_block_size
+        )
+        for key, ts, value in memstore.sorted_entries():
+            writer.add(key, ts, value)
+        writer.finish()
+        memstore.clear()
+        self._sstables[store].insert(0, writer.open_result(self.dfs, self.machine))
+        self.flushes += 1
+        if len(self._sstables[store]) >= self.config.compaction_threshold:
+            self.minor_compact(store)
+        return path
+
+    def flush_all(self) -> None:
+        """Flush every memstore (used at the end of load phases)."""
+        for store in list(self._memstores):
+            self.flush_store(store)
+
+    def trim_wal(self) -> int:
+        """Discard WAL segments made obsolete by flushes (HBase's log
+        cleaner): once every memstore is empty, everything in the WAL is
+        also in SSTables and the old segments can go.  Returns segments
+        removed.
+
+        This is the WAL+Data steady state the paper's cost argument is
+        about: the data was *written* twice either way, but only one copy
+        is retained long-term.
+        """
+        if any(len(memstore) for memstore in self._memstores.values()):
+            return 0  # unflushed entries still rely on the WAL
+        old_segments = self.wal.segments()
+        self.wal.roll()
+        self.wal.retire_segments(old_segments)
+        return len(old_segments)
+
+    # -- read path: memstore -> block cache -> SSTables ----------------------------------
+
+    def read(
+        self, table: str, key: bytes, group: str, *, as_of: int | None = None
+    ) -> tuple[int, bytes] | None:
+        """Get the latest (or as-of) version of one record."""
+        self._require_serving()
+        store = self._store(table, key, group)
+        memstore = self._memstores[store]
+        hit = (
+            memstore.get_latest(key) if as_of is None else memstore.get_asof(key, as_of)
+        )
+        if hit is not None:
+            ts, value = hit
+            return None if value is None else (ts, value)
+        for sstable in self._sstables[store]:  # newest first
+            versions = sstable.get_versions(key, self.block_cache)
+            if as_of is not None:
+                versions = [(ts, v) for ts, v in versions if ts <= as_of]
+            if versions:
+                ts, value = versions[-1]
+                return None if value is None else (ts, value)
+        return None
+
+    def read_version_timestamp(self, table: str, key: bytes, group: str) -> int | None:
+        """Current version timestamp (for parity with the LogBase API)."""
+        result = self.read(table, key, group)
+        return None if result is None else result[0]
+
+    def delete(self, table: str, key: bytes, group: str, *, txn_id: int = 0) -> int:
+        """Delete by writing a tombstone through WAL + memstore."""
+        self._require_serving()
+        tablet = self._route(table, key)
+        timestamp = self.tso.next_timestamp()
+        self.wal.append(
+            LogRecord(
+                record_type=RecordType.INVALIDATE,
+                txn_id=txn_id,
+                table=table,
+                tablet=str(tablet.tablet_id),
+                key=key,
+                group=group,
+                timestamp=timestamp,
+                value=None,
+            )
+        )
+        self._memstores[(str(tablet.tablet_id), group)].put(key, timestamp, None)
+        return 1
+
+    # -- scans ------------------------------------------------------------------------------
+
+    def range_scan(
+        self,
+        table: str,
+        group: str,
+        start_key: bytes,
+        end_key: bytes,
+        *,
+        as_of: int | None = None,
+    ):
+        """Yield (key, ts, value) for the latest visible version per key.
+
+        SSTables are key-sorted, so this is a sequential merge — the
+        strength of the WAL+Data layout (Figure 10, HBase line)."""
+        self._require_serving()
+        for tablet in sorted(
+            (t for t in self.tablets.values() if t.table == table),
+            key=lambda t: t.key_range.start,
+        ):
+            store = (str(tablet.tablet_id), group)
+            versions: dict[bytes, tuple[int, bytes | None]] = {}
+            sources = [self._memstores[store].range(start_key, end_key)]
+            sources += [
+                sst.range(start_key, end_key, self.block_cache)
+                for sst in self._sstables[store]
+            ]
+            for source in sources:
+                for key, ts, value in source:
+                    if as_of is not None and ts > as_of:
+                        continue
+                    best = versions.get(key)
+                    if best is None or ts > best[0]:
+                        versions[key] = (ts, value)
+            for key in sorted(versions):
+                ts, value = versions[key]
+                if value is not None:
+                    yield key, ts, value
+
+    def full_scan(self, table: str, group: str):
+        """Sequential scan over data files + memstores (whole table)."""
+        self._require_serving()
+        yield from self.range_scan(table, group, b"", b"\xff" * 64)
+
+    # -- compaction -----------------------------------------------------------------------------
+
+    def minor_compact(self, store: StoreKey) -> None:
+        """Merge a store's SSTables into one (read all, write one)."""
+        tables = self._sstables[store]
+        if len(tables) < 2:
+            return
+        merged: dict[tuple[bytes, int], bytes | None] = {}
+        for sstable in tables:
+            for key, ts, value in sstable.scan(self.block_cache):
+                merged[(key, ts)] = value
+        tablet_id, group = store
+        self._flush_counter += 1
+        path = (
+            f"/hbase/{self.name}/data/{tablet_id}/{group}/"
+            f"sst-{self._flush_counter:08d}.sst"
+        )
+        writer = SSTableWriter(
+            self.dfs, path, self.machine, self.config.sstable_block_size
+        )
+        for key, ts in sorted(merged):
+            writer.add(key, ts, merged[(key, ts)])
+        writer.finish()
+        for sstable in tables:
+            self.dfs.delete(sstable.path)
+        self._sstables[store] = [writer.open_result(self.dfs, self.machine)]
+        self.minor_compactions += 1
+
+    # -- recovery: replay the WAL into memstores ---------------------------------------------------
+
+    def recover(self) -> int:
+        """Rebuild memstores by replaying WAL entries newer than what the
+        SSTables already contain; returns entries replayed.
+
+        This is the WAL+Data recovery path the paper contrasts with
+        LogBase's: the *data* must be reconstructed (memstores refilled),
+        not just an index."""
+        self._require_serving()
+        for store in list(self._memstores):
+            self._sstables[store] = self._discover_sstables(store)
+        flushed_ts = {
+            store: max((sst.max_ts for sst in tables), default=0)
+            for store, tables in self._sstables.items()
+        }
+        replayed = 0
+        for _, record in self.wal.scan_all():
+            if record.record_type not in (RecordType.WRITE, RecordType.INVALIDATE):
+                continue
+            store = (record.tablet, record.group)
+            if store not in self._memstores:
+                continue
+            if record.timestamp <= flushed_ts.get(store, 0):
+                continue
+            self._memstores[store].put(record.key, record.timestamp, record.value)
+            replayed += 1
+        return replayed
+
+    # -- accounting ----------------------------------------------------------------------------------
+
+    def data_bytes(self) -> int:
+        """Bytes in WAL plus data files (the double-storage footprint)."""
+        total = self.wal.total_bytes()
+        for tables in self._sstables.values():
+            for sstable in tables:
+                total += self.dfs.file_length(sstable.path)
+        return total

@@ -1,0 +1,5 @@
+"""LRS: the log-structured record-oriented baseline of §4.6."""
+
+from repro.baselines.lrs.store import LRSCluster, make_lrs_config
+
+__all__ = ["LRSCluster", "make_lrs_config"]

@@ -1,0 +1,158 @@
+"""Command-line experiment runner: ``python -m repro.bench.cli``.
+
+Runs the paper's headline comparisons at a chosen scale without pytest:
+
+* ``load``   — parallel YCSB loading, LogBase vs HBase vs LRS (Figs 6/11/19);
+* ``mixed``  — read/update mix throughput + latencies (Figs 12-14);
+* ``reads``  — cold random reads (Fig 7);
+* ``tpcw``   — TPC-W transaction mixes (Figs 15-16);
+* ``stats``  — run a small workload and dump the cluster snapshot.
+
+All numbers are simulated seconds (see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.bench.adapters import make_hbase, make_logbase, make_lrs
+from repro.bench.report import format_series, format_table
+from repro.bench.runner import run_load, run_mixed, run_random_reads
+from repro.bench.ycsb import YCSBWorkload
+
+_FACTORIES = {"logbase": make_logbase, "hbase": make_hbase, "lrs": make_lrs}
+
+
+def _systems(spec: str):
+    names = [name.strip() for name in spec.split(",") if name.strip()]
+    for name in names:
+        if name not in _FACTORIES:
+            raise SystemExit(f"unknown system {name!r}; pick from {sorted(_FACTORIES)}")
+        yield name, _FACTORIES[name]
+
+
+def cmd_load(args) -> None:
+    rows = []
+    for name, factory in _systems(args.systems):
+        workload = YCSBWorkload(records_per_node=args.records, record_size=args.size)
+        adapter = factory(args.nodes, records_per_node=args.records, record_size=args.size)
+        result = run_load(adapter, workload)
+        rows.append([name, result.records, result.seconds, result.throughput])
+    print(format_table(
+        f"Parallel load, {args.nodes} nodes x {args.records} records",
+        ["system", "records", "sim sec", "records/sec"],
+        rows,
+    ))
+
+
+def cmd_mixed(args) -> None:
+    rows = []
+    for name, factory in _systems(args.systems):
+        workload = YCSBWorkload(
+            records_per_node=args.records,
+            record_size=args.size,
+            update_fraction=args.updates,
+        )
+        adapter = factory(args.nodes, records_per_node=args.records, record_size=args.size)
+        run_load(adapter, workload)
+        adapter.reset_clocks()
+        result = run_mixed(adapter, workload, args.ops)
+        rows.append([
+            name, result.ops, result.throughput,
+            result.mean_update_ms, result.mean_read_ms,
+        ])
+    print(format_table(
+        f"Mixed workload ({args.updates:.0%} updates), {args.nodes} nodes",
+        ["system", "ops", "ops/sec", "update ms", "read ms"],
+        rows,
+    ))
+
+
+def cmd_reads(args) -> None:
+    rows = []
+    for name, factory in _systems(args.systems):
+        workload = YCSBWorkload(records_per_node=args.records, record_size=args.size)
+        adapter = factory(
+            args.nodes,
+            records_per_node=args.records,
+            record_size=args.size,
+            **({"scaled_cache": False} if name == "hbase" else {}),
+        )
+        run_load(adapter, workload)
+        seconds = run_random_reads(adapter, workload.keys, args.ops, cold=True)
+        rows.append([name, args.ops, seconds, 1000 * seconds / args.ops])
+    print(format_table(
+        f"Cold random reads, {args.nodes} nodes",
+        ["system", "reads", "sim sec", "ms/read"],
+        rows,
+    ))
+
+
+def cmd_tpcw(args) -> None:
+    from repro import LogBase, LogBaseConfig
+    from repro.bench.tpcw import TPCW_MIXES, TPCWWorkload
+    from repro.bench.tpcw_runner import run_tpcw
+
+    series_latency: dict[str, dict[int, float]] = {}
+    series_tps: dict[str, dict[int, float]] = {}
+    for mix in TPCW_MIXES:
+        db = LogBase(args.nodes, LogBaseConfig(segment_size=256 * 1024))
+        workload = TPCWWorkload(
+            products_per_node=args.records, customers_per_node=args.records, mix=mix
+        )
+        result = run_tpcw(db, workload, args.ops)
+        series_latency.setdefault(f"{mix} ms", {})[args.nodes] = result.mean_latency_ms
+        series_tps.setdefault(f"{mix} tps", {})[args.nodes] = result.throughput
+    print(format_series("TPC-W latency (ms)", "nodes", series_latency))
+    print()
+    print(format_series("TPC-W throughput (TPS)", "nodes", series_tps))
+
+
+def cmd_stats(args) -> None:
+    from repro.core.stats import collect_cluster_stats, format_stats
+
+    workload = YCSBWorkload(records_per_node=args.records, record_size=args.size)
+    adapter = make_logbase(args.nodes, records_per_node=args.records, record_size=args.size)
+    run_load(adapter, workload)
+    run_mixed(adapter, workload, args.ops)
+    print(format_stats(collect_cluster_stats(adapter.cluster)))
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench.cli",
+        description="LogBase reproduction experiment runner (simulated time)",
+    )
+    parser.add_argument("--nodes", type=int, default=3, help="cluster size")
+    parser.add_argument("--records", type=int, default=300, help="records per node")
+    parser.add_argument("--size", type=int, default=1000, help="record bytes")
+    parser.add_argument("--ops", type=int, default=100, help="ops/txns per node")
+    parser.add_argument(
+        "--systems",
+        default="logbase,hbase,lrs",
+        help="comma-separated systems to compare (logbase,hbase,lrs)",
+    )
+    parser.add_argument(
+        "--updates", type=float, default=0.95, help="update fraction for `mixed`"
+    )
+    parser.add_argument(
+        "command",
+        choices=["load", "mixed", "reads", "tpcw", "stats"],
+        help="experiment to run",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> None:
+    args = build_parser().parse_args(argv)
+    {
+        "load": cmd_load,
+        "mixed": cmd_mixed,
+        "reads": cmd_reads,
+        "tpcw": cmd_tpcw,
+        "stats": cmd_stats,
+    }[args.command](args)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,31 @@
+"""Plain-text reporting: the rows/series the paper's figures plot."""
+
+from __future__ import annotations
+
+
+def format_table(title: str, headers: list[str], rows: list[list]) -> str:
+    """Render an aligned text table."""
+    widths = [len(h) for h in headers]
+    rendered_rows = []
+    for row in rows:
+        rendered = [
+            f"{cell:.4g}" if isinstance(cell, float) else str(cell) for cell in row
+        ]
+        rendered_rows.append(rendered)
+        for i, cell in enumerate(rendered):
+            widths[i] = max(widths[i], len(cell))
+    lines = [title, "-" * len(title)]
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    for rendered in rendered_rows:
+        lines.append("  ".join(c.ljust(widths[i]) for i, c in enumerate(rendered)))
+    return "\n".join(lines)
+
+
+def format_series(title: str, x_label: str, series: dict[str, dict]) -> str:
+    """Render {series name: {x: y}} as one table with an x column."""
+    xs = sorted({x for points in series.values() for x in points})
+    headers = [x_label] + list(series)
+    rows = []
+    for x in xs:
+        rows.append([x] + [series[name].get(x, "") for name in series])
+    return format_table(title, headers, rows)

@@ -1,0 +1,88 @@
+"""TPC-W-style webshop workload (§4.4).
+
+"The benchmark characterizes three typical mixes including browsing mix,
+shopping mix and ordering mix that have 5%, 20% and 50% update
+transactions respectively.  A read-only transaction performs one read
+operation to query the details of a product in the item table while an
+update transaction executes an order request which bundles one read
+operation to retrieve the user's shopping cart and one write operation
+into the orders table."
+
+Key design follows the paper's entity-group guidance (§3.2): a customer's
+cart key and order keys share the customer prefix, so an order
+transaction touches a single tablet and avoids two-phase commit.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.bench.ycsb import KEY_DOMAIN, make_key
+from repro.core.schema import ColumnGroup, TableSchema
+
+TPCW_MIXES = {
+    "browsing": 0.05,
+    "shopping": 0.20,
+    "ordering": 0.50,
+}
+
+ITEM_SCHEMA = TableSchema("item", "i_id", (ColumnGroup("detail", ("title", "cost")),))
+CART_SCHEMA = TableSchema("cart", "c_id", (ColumnGroup("cart", ("contents",)),))
+ORDERS_SCHEMA = TableSchema("orders", "o_id", (ColumnGroup("order", ("lines",)),))
+
+
+@dataclass
+class TPCWWorkload:
+    """One TPC-W experiment configuration.
+
+    Attributes:
+        products_per_node: items bulk-loaded per node (paper: 1 M, scaled).
+        customers_per_node: customers (with carts) loaded per node.
+        mix: one of ``browsing``/``shopping``/``ordering``.
+        seed: deterministic RNG seed.
+    """
+
+    products_per_node: int = 1000
+    customers_per_node: int = 1000
+    mix: str = "shopping"
+    seed: int = 7
+
+    def __post_init__(self) -> None:
+        if self.mix not in TPCW_MIXES:
+            raise ValueError(f"unknown mix {self.mix!r}")
+
+    @property
+    def update_fraction(self) -> float:
+        """Share of order (update) transactions in the mix."""
+        return TPCW_MIXES[self.mix]
+
+    def generate_entities(self, n_nodes: int) -> tuple[list[bytes], list[bytes]]:
+        """(product keys, customer keys) for the bulk-load phase."""
+        rng = random.Random(self.seed)
+        n_products = self.products_per_node * n_nodes
+        n_customers = self.customers_per_node * n_nodes
+        products = sorted(
+            make_key(v) for v in rng.sample(range(KEY_DOMAIN), n_products)
+        )
+        customers = sorted(
+            make_key(v) for v in rng.sample(range(KEY_DOMAIN), n_customers)
+        )
+        return products, customers
+
+    @staticmethod
+    def order_key(customer_key: bytes, seq: int) -> bytes:
+        """Order key sharing the customer's prefix (entity group)."""
+        return customer_key + f"-{seq:06d}".encode()
+
+    def transactions(self, n_txns: int, products: list[bytes], customers: list[bytes]):
+        """Yield transaction specs: ('browse', product) or
+        ('order', customer, order seq)."""
+        rng = random.Random(self.seed + 13)
+        order_seq = 0
+        for _ in range(n_txns):
+            if rng.random() < self.update_fraction:
+                order_seq += 1
+                yield "order", customers[rng.randrange(len(customers))], order_seq
+            else:
+                yield "browse", products[rng.randrange(len(products))], 0

@@ -1,0 +1,103 @@
+"""TPC-W experiment driver (§4.4, Figures 15-16).
+
+Loads items and customer carts, then stress-tests the system with one
+client thread per node continuously submitting transactions:
+
+* browse — read-only: one read of a product's detail group;
+* order — update: read the customer's cart, write one row into orders.
+
+Latency of a transaction is the simulated time its execution added across
+the cluster (all clocks); throughput is transactions per makespan second.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.bench.tpcw import (
+    CART_SCHEMA,
+    ITEM_SCHEMA,
+    ORDERS_SCHEMA,
+    TPCWWorkload,
+)
+from repro.core.database import LogBase
+from repro.errors import TransactionAborted
+
+
+@dataclass
+class TPCWResult:
+    """Outcome of one TPC-W run."""
+
+    mix: str
+    n_nodes: int
+    txns: int
+    seconds: float
+    latencies: list[float] = field(default_factory=list, repr=False)
+    aborts: int = 0
+
+    @property
+    def throughput(self) -> float:
+        """Committed transactions per simulated second."""
+        return self.txns / self.seconds if self.seconds else 0.0
+
+    @property
+    def mean_latency_ms(self) -> float:
+        """Mean transaction latency in milliseconds."""
+        return 1000.0 * sum(self.latencies) / len(self.latencies) if self.latencies else 0.0
+
+
+def setup_tpcw(db: LogBase, workload: TPCWWorkload) -> tuple[list[bytes], list[bytes]]:
+    """Create the TPC-W tables and bulk-load products and carts."""
+    db.create_table(ITEM_SCHEMA)
+    db.create_table(CART_SCHEMA)
+    db.create_table(ORDERS_SCHEMA)
+    n_nodes = len(db.cluster.machines)
+    products, customers = workload.generate_entities(n_nodes)
+    clients = [db.client(m) for m in db.cluster.machines]
+    for i, product in enumerate(products):
+        clients[i % n_nodes].put(
+            "item", product, {"detail": {"title": b"item-" + product, "cost": b"10"}}
+        )
+    for i, customer in enumerate(customers):
+        clients[i % n_nodes].put(
+            "cart", customer, {"cart": {"contents": b"cart-of-" + customer}}
+        )
+    return products, customers
+
+
+def _total_clock(db: LogBase) -> float:
+    return sum(m.clock.now for m in db.cluster.machines)
+
+
+def run_tpcw(db: LogBase, workload: TPCWWorkload, txns_per_node: int) -> TPCWResult:
+    """Execute the mixed transaction phase and collect latency/throughput."""
+    products, customers = setup_tpcw(db, workload)
+    n_nodes = len(db.cluster.machines)
+    result = TPCWResult(mix=workload.mix, n_nodes=n_nodes, txns=0, seconds=0.0)
+    makespan_before = db.cluster.elapsed_makespan()
+    specs = list(workload.transactions(txns_per_node * n_nodes, products, customers))
+    for spec in specs:
+        before = _total_clock(db)
+        try:
+            if spec[0] == "browse":
+                txn = db.begin()
+                txn.read("item", spec[1], "detail")
+                txn.commit()
+            else:
+                _, customer, seq = spec
+                txn = db.begin()
+                cart = txn.read("cart", customer, "cart")
+                contents = cart["contents"] if cart else b""
+                txn.write(
+                    "orders",
+                    TPCWWorkload.order_key(customer, seq),
+                    "order",
+                    {"lines": b"order:" + contents},
+                )
+                txn.commit()
+            result.txns += 1
+        except TransactionAborted:
+            result.aborts += 1
+        result.latencies.append(_total_clock(db) - before)
+    result.seconds = db.cluster.elapsed_makespan() - makespan_before
+    return result

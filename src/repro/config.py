@@ -1,0 +1,78 @@
+"""Configuration knobs for a LogBase deployment.
+
+Defaults follow the paper's experimental setup (§4.1): 64 MB log segments
+and DFS blocks, 3-way replication, 40 % of a 4 GB heap for in-memory
+indexes, 20 % for the read cache.  Record counts are scaled down for the
+simulation; byte *sizes* are kept at paper scale so cost accounting
+matches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.sim.disk import DiskModel
+from repro.sim.network import NetworkModel
+
+GiB = 1024 * 1024 * 1024
+MiB = 1024 * 1024
+
+
+@dataclass
+class LogBaseConfig:
+    """Tunable parameters for cluster, servers and storage.
+
+    Attributes:
+        replication: DFS synchronous replication factor.
+        dfs_block_size: DFS block size in bytes.
+        segment_size: log segment roll size in bytes.
+        heap_bytes: simulated tablet-server heap.
+        index_heap_fraction: share of heap reserved for in-memory indexes.
+        cache_heap_fraction: share of heap for the read cache.
+        checkpoint_update_threshold: updates per column group between
+            automatic index flushes (0 disables automatic checkpoints).
+        read_cache_enabled: whether servers keep a read buffer at all
+            (it is "only an optional component", §3.6.2).
+        group_commit_batch: max records buffered per group-commit flush.
+        index_kind: ``"blink"`` (in-memory) or ``"lsm"`` (spill to DFS).
+        max_versions: versions kept per key by compaction (None = all).
+        disk: device cost model for every machine.
+        network: cluster interconnect cost model.
+        racks: number of racks machines are spread over.
+    """
+
+    replication: int = 3
+    dfs_block_size: int = 64 * MiB
+    segment_size: int = 64 * MiB
+    heap_bytes: int = 4 * GiB
+    index_heap_fraction: float = 0.40
+    cache_heap_fraction: float = 0.20
+    checkpoint_update_threshold: int = 0
+    read_cache_enabled: bool = True
+    group_commit_batch: int = 16
+    index_kind: str = "blink"
+    max_versions: int | None = None
+    disk: DiskModel = field(default_factory=DiskModel)
+    network: NetworkModel = field(default_factory=NetworkModel)
+    racks: int = 2
+
+    @property
+    def index_budget_bytes(self) -> int:
+        """Heap bytes available for in-memory indexes."""
+        return int(self.heap_bytes * self.index_heap_fraction)
+
+    @property
+    def cache_budget_bytes(self) -> int:
+        """Heap bytes available for the read cache."""
+        return int(self.heap_bytes * self.cache_heap_fraction)
+
+    def validate(self) -> None:
+        """Raise ValueError on inconsistent settings."""
+        if self.replication < 1:
+            raise ValueError("replication must be >= 1")
+        if not 0.0 <= self.index_heap_fraction + self.cache_heap_fraction <= 1.0:
+            raise ValueError("heap fractions exceed the heap")
+        if self.index_kind not in ("blink", "lsm"):
+            raise ValueError(f"unknown index kind {self.index_kind!r}")
+        if self.max_versions is not None and self.max_versions < 1:
+            raise ValueError("max_versions must be >= 1 or None")

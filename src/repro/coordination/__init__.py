@@ -1,0 +1,23 @@
+"""Coordination service modelled after Zookeeper.
+
+LogBase uses Zookeeper for four things (§3.3, §3.7): master election,
+tablet-server liveness, distributed write locks during MVOCC validation,
+and a global timestamp authority for commit timestamps.  This package
+implements a znode tree with sessions, ephemeral and sequential nodes and
+watches, and builds the election, lock-manager and timestamp-oracle
+recipes on top of it.
+"""
+
+from repro.coordination.znodes import CoordinationService, Session, ZNodeStat
+from repro.coordination.election import LeaderElection
+from repro.coordination.locks import DistributedLockManager
+from repro.coordination.tso import TimestampOracle
+
+__all__ = [
+    "CoordinationService",
+    "Session",
+    "ZNodeStat",
+    "LeaderElection",
+    "DistributedLockManager",
+    "TimestampOracle",
+]

@@ -1,0 +1,55 @@
+"""Leader election recipe over the znode tree.
+
+LogBase runs multiple master instances; the active master is elected via
+the coordination service and a standby takes over if it fails (§3.3).
+This uses the standard ephemeral-sequential election recipe: every
+candidate creates an ephemeral sequential node under the election path,
+and the candidate owning the smallest sequence number is the leader.
+"""
+
+from __future__ import annotations
+
+from repro.coordination.znodes import CoordinationService, Session
+from repro.errors import NoNodeError
+
+
+class LeaderElection:
+    """One election domain (e.g. ``/logbase/master-election``)."""
+
+    def __init__(self, service: CoordinationService, path: str) -> None:
+        self._service = service
+        self._path = path
+        self._bootstrap_session = service.connect("election-bootstrap")
+        service.ensure_path(self._bootstrap_session, path)
+        self._candidates: dict[str, str] = {}  # candidate name -> znode path
+
+    def volunteer(self, session: Session, name: str) -> None:
+        """Enter ``name`` into the election using ``session``.
+
+        The candidate's ephemeral node disappears if its session expires,
+        automatically promoting the next candidate.
+        """
+        znode = self._service.create(
+            session,
+            f"{self._path}/candidate-",
+            data=name.encode(),
+            ephemeral=True,
+            sequential=True,
+        )
+        self._candidates[name] = znode
+
+    def leader(self) -> str | None:
+        """Name of the current leader, or None if nobody volunteered."""
+        try:
+            children = self._service.get_children(self._path)
+        except NoNodeError:
+            return None
+        if not children:
+            return None
+        first = children[0]
+        data, _ = self._service.get(f"{self._path}/{first}")
+        return data.decode()
+
+    def is_leader(self, name: str) -> bool:
+        """Whether ``name`` currently leads."""
+        return self.leader() == name

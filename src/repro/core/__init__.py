@@ -1,0 +1,39 @@
+"""LogBase core: schemas, partitioning, tablet servers, master, cluster.
+
+This package is the paper's primary contribution: the log-only tablet
+server (§3.6), its checkpoint/recovery protocol (§3.8), the partitioning
+strategies (§3.2) and the cluster/master machinery (§3.3), assembled into
+the :class:`~repro.core.database.LogBase` facade.
+"""
+
+from repro.core.schema import TableSchema, ColumnGroup, encode_group_value, decode_group_value
+from repro.core.partition import (
+    KeyRange,
+    QueryTrace,
+    VerticalPartitioner,
+    split_key_domain,
+)
+from repro.core.tablet import Tablet, TabletId
+from repro.core.read_cache import ReadCache
+from repro.core.tablet_server import TabletServer
+from repro.core.master import Master
+from repro.core.cluster import LogBaseCluster
+from repro.core.database import LogBase
+
+__all__ = [
+    "TableSchema",
+    "ColumnGroup",
+    "encode_group_value",
+    "decode_group_value",
+    "KeyRange",
+    "QueryTrace",
+    "VerticalPartitioner",
+    "split_key_domain",
+    "Tablet",
+    "TabletId",
+    "ReadCache",
+    "TabletServer",
+    "Master",
+    "LogBaseCluster",
+    "LogBase",
+]

@@ -1,0 +1,204 @@
+"""Client library: routing with a location cache (§3.3).
+
+"A new client first contacts the Zookeeper to retrieve the master node
+information ... and finally retrieve data from the tablet server that
+maintains the records of its interest.  The information of both master
+node and tablet servers are cached" — so after warm-up the master is off
+the data path.  RPC costs are charged to the client's machine; the
+server-side work is charged to the server's machine by the server itself.
+"""
+
+from __future__ import annotations
+
+from repro.core.master import Master
+from repro.core.schema import decode_group_value, encode_group_value
+from repro.core.tablet import Tablet
+from repro.errors import ServerDownError, TabletNotFound
+from repro.sim.machine import Machine
+
+_REQUEST_OVERHEAD = 64  # approximate request framing bytes
+
+
+class Client:
+    """A LogBase client running on (or near) a cluster machine."""
+
+    def __init__(self, master: Master, machine: Machine) -> None:
+        self._master = master
+        self._machine = machine
+        # table -> list of (server name, tablet), cached after first lookup
+        self._locations: dict[str, list[tuple[str, Tablet]]] = {}
+        self.last_op_seconds = 0.0
+
+    # -- routing ------------------------------------------------------------------
+
+    def _locate(self, table: str, key: bytes) -> tuple[str, Tablet]:
+        cached = self._locations.get(table)
+        if cached is None:
+            # One metadata RPC to the master, then cached.
+            self._machine.clock.advance(
+                self._machine.network.rpc_cost(_REQUEST_OVERHEAD, 1024)
+            )
+            cached = self._master.locations(table)
+            self._locations[table] = cached
+        for server_name, tablet in cached:
+            if tablet.covers(key):
+                return server_name, tablet
+        raise TabletNotFound(f"{table}:{key!r}")
+
+    def invalidate_cache(self, table: str | None = None) -> None:
+        """Drop cached locations (stale after failover)."""
+        if table is None:
+            self._locations.clear()
+        else:
+            self._locations.pop(table, None)
+
+    def _server_for(self, table: str, key: bytes):
+        name, _ = self._locate(table, key)
+        try:
+            return self._master.server(name)
+        except KeyError:
+            self.invalidate_cache(table)
+            name, _ = self._locate(table, key)
+            return self._master.server(name)
+
+    def _call(self, server, request_bytes: int, response_bytes: int, op) :
+        """Run ``op`` against ``server``, charging RPC and measuring the
+        server-side latency of this operation."""
+        start = server.machine.clock.now
+        rpc = self._machine.network.rpc_cost(
+            request_bytes, response_bytes, local=server.machine is self._machine
+        )
+        self._machine.clock.advance(rpc)
+        try:
+            result = op()
+        except ServerDownError:
+            self.invalidate_cache()
+            raise
+        self.last_op_seconds = (server.machine.clock.now - start) + rpc
+        return result
+
+    def _routed_call(
+        self, table: str, key: bytes, request_bytes: int, response_bytes: int, op_factory
+    ):
+        """Route, call, and retry once on a stale location.
+
+        After a tablet moves (rebalance, failover, decommission) the
+        cached location points at a server that no longer owns the key;
+        that server answers TabletNotFound, the client refreshes its
+        cache from the master and retries — "the information ... only
+        need to be looked up ... when the cache is stale" (§3.3).
+        """
+        server = self._server_for(table, key)
+        try:
+            return self._call(server, request_bytes, response_bytes, op_factory(server))
+        except TabletNotFound:
+            self.invalidate_cache(table)
+            server = self._server_for(table, key)
+            return self._call(server, request_bytes, response_bytes, op_factory(server))
+
+    # -- typed API -----------------------------------------------------------------------
+
+    def put(self, table: str, key: bytes, row: dict[str, dict[str, bytes]]) -> int:
+        """Write column values grouped by column group.
+
+        Args:
+            row: ``{group name: {column: value bytes}}``.
+
+        Returns the version timestamp.
+        """
+        payload = {
+            group: encode_group_value(columns) for group, columns in row.items()
+        }
+        size = sum(len(v) for v in payload.values()) + len(key)
+        return self._routed_call(
+            table, key, size + _REQUEST_OVERHEAD, 16,
+            lambda server: lambda: server.write(table, key, payload),
+        )
+
+    def get(
+        self, table: str, key: bytes, group: str, *, as_of: int | None = None
+    ) -> dict[str, bytes] | None:
+        """Read one column group of a record; None if absent."""
+        result = self._routed_call(
+            table, key, _REQUEST_OVERHEAD + len(key), 1024,
+            lambda server: lambda: server.read(table, key, group, as_of=as_of),
+        )
+        if result is None:
+            return None
+        _, value = result
+        return decode_group_value(value)
+
+    def get_row(self, table: str, key: bytes) -> dict[str, dict[str, bytes]] | None:
+        """Reconstruct a whole tuple by collecting every column group
+        (§3.2: reconstruction uses the primary key across groups)."""
+        schema = self._master.schema(table)
+        row: dict[str, dict[str, bytes]] = {}
+        for group in schema.group_names:
+            columns = self.get(table, key, group)
+            if columns is not None:
+                row[group] = columns
+        return row or None
+
+    def delete(self, table: str, key: bytes, group: str | None = None) -> None:
+        """Delete a record (one group, or every group when None)."""
+        schema = self._master.schema(table)
+        groups = [group] if group is not None else schema.group_names
+        for group_name in groups:
+            self._routed_call(
+                table, key, _REQUEST_OVERHEAD + len(key), 16,
+                lambda server, g=group_name: lambda: server.delete(table, key, g),
+            )
+
+    def scan(
+        self,
+        table: str,
+        group: str,
+        start_key: bytes,
+        end_key: bytes,
+        *,
+        as_of: int | None = None,
+    ) -> list[tuple[bytes, dict[str, bytes]]]:
+        """Range scan [start_key, end_key) across all covering tablets.
+
+        Sub-ranges on different servers execute in parallel in a real
+        deployment; here each server charges its own clock, so the
+        makespan accounting captures the parallelism.
+        """
+        if table not in self._locations:
+            self._locate(table, start_key)
+        results: list[tuple[bytes, dict[str, bytes]]] = []
+        for server_name, tablet in self._locations[table]:
+            if tablet.key_range.end is not None and tablet.key_range.end <= start_key:
+                continue
+            if end_key <= tablet.key_range.start:
+                continue
+            server = self._master.server(server_name)
+            rows = self._call(
+                server, _REQUEST_OVERHEAD, 4096,
+                lambda s=server: list(
+                    s.range_scan(table, group, start_key, end_key, as_of=as_of)
+                ),
+            )
+            for key, _, value in rows:
+                results.append((key, decode_group_value(value)))
+        results.sort(key=lambda pair: pair[0])
+        return results
+
+    # -- raw byte API (benchmarks; payloads are opaque 1 KB blobs) ---------------------------
+
+    def put_raw(self, table: str, key: bytes, group: str, value: bytes) -> int:
+        """Write one opaque group payload (no column encoding)."""
+        return self._routed_call(
+            table, key, len(value) + len(key) + _REQUEST_OVERHEAD, 16,
+            lambda server: lambda: server.write(table, key, {group: value}),
+        )
+
+    def get_raw(
+        self, table: str, key: bytes, group: str, *, as_of: int | None = None
+    ) -> bytes | None:
+        """Read one opaque group payload."""
+        result = self._routed_call(
+            table, key, _REQUEST_OVERHEAD + len(key), 1024,
+            lambda server: lambda: server.read(table, key, group, as_of=as_of),
+        )
+        return None if result is None else result[1]

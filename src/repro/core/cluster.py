@@ -1,0 +1,150 @@
+"""Cluster assembly: machines, DFS, coordination, masters, tablet servers.
+
+Mirrors the paper's deployment (§4.1): every machine runs both a datanode
+and a tablet server; the DFS is shared; masters are elected through the
+coordination service; a timestamp oracle hands out commit timestamps.
+"""
+
+from __future__ import annotations
+
+from repro.config import LogBaseConfig
+from repro.coordination.tso import TimestampOracle
+from repro.coordination.znodes import CoordinationService
+from repro.core.checkpoint import CheckpointManager
+from repro.core.master import Master, SharedCatalog
+from repro.core.tablet_server import TabletServer
+from repro.dfs.filesystem import DFS
+from repro.sim.clock import makespan
+from repro.sim.failure import FailureInjector
+from repro.sim.machine import Machine
+
+
+class LogBaseCluster:
+    """A complete simulated LogBase deployment.
+
+    Args:
+        n_nodes: number of machines (each runs datanode + tablet server).
+        config: deployment configuration.
+        n_masters: master instances entering the election.
+    """
+
+    def __init__(
+        self,
+        n_nodes: int = 3,
+        config: LogBaseConfig | None = None,
+        n_masters: int = 1,
+    ) -> None:
+        if n_nodes < 1:
+            raise ValueError("cluster needs at least one node")
+        self.config = config if config is not None else LogBaseConfig()
+        self.config.validate()
+        self.machines = [
+            Machine(
+                f"node-{i}",
+                rack=f"rack-{i % self.config.racks}",
+                disk_model=self.config.disk,
+                network=self.config.network,
+            )
+            for i in range(n_nodes)
+        ]
+        self.dfs = DFS(
+            self.machines,
+            replication=self.config.replication,
+            block_size=self.config.dfs_block_size,
+        )
+        self.coordination = CoordinationService()
+        self.tso = TimestampOracle(self.coordination)
+        catalog = SharedCatalog()
+        self.masters = [
+            Master(f"master-{i}", self.dfs, self.coordination, catalog)
+            for i in range(n_masters)
+        ]
+        self.servers: list[TabletServer] = []
+        self.checkpoints: dict[str, CheckpointManager] = {}
+        self.failures = FailureInjector()
+        for machine in self.machines:
+            server = TabletServer(
+                f"ts-{machine.name}", machine, self.dfs, self.tso, self.config
+            )
+            self.servers.append(server)
+            self.checkpoints[server.name] = CheckpointManager(self.dfs, server)
+            self.master.register_server(server)
+            self.failures.register(server.name, machine)
+
+    def add_node(self, *, rebalance: bool = True) -> TabletServer:
+        """Elastic scale-out: provision a machine, start a datanode and a
+        tablet server on it, and (optionally) rebalance tablets onto it."""
+        machine = Machine(
+            f"node-{len(self.machines)}",
+            rack=f"rack-{len(self.machines) % self.config.racks}",
+            disk_model=self.config.disk,
+            network=self.config.network,
+        )
+        self.machines.append(machine)
+        self.dfs.add_machine(machine)
+        server = TabletServer(
+            f"ts-{machine.name}", machine, self.dfs, self.tso, self.config
+        )
+        self.servers.append(server)
+        self.checkpoints[server.name] = CheckpointManager(self.dfs, server)
+        self.master.register_server(server)
+        self.failures.register(server.name, machine)
+        if rebalance:
+            self.master.rebalance()
+        return server
+
+    def remove_node(self, name: str) -> None:
+        """Elastic scale-back: gracefully move a server's tablets away and
+        retire it (its datanode keeps serving existing replicas)."""
+        self.master.decommission(name)
+        server = self.server_by_name(name)
+        server.serving = False
+
+    def create_table(self, schema, **kwargs):
+        """Convenience passthrough to the active master's DDL."""
+        return self.master.create_table(schema, **kwargs)
+
+    @property
+    def master(self) -> Master:
+        """The active (elected) master."""
+        for master in self.masters:
+            if master.is_active:
+                return master
+        return self.masters[0]
+
+    def server_by_name(self, name: str) -> TabletServer:
+        """Tablet server handle by name."""
+        for server in self.servers:
+            if server.name == name:
+                return server
+        raise KeyError(name)
+
+    def elapsed_makespan(self) -> float:
+        """Cluster phase duration: max simulated clock across machines."""
+        return makespan([machine.clock for machine in self.machines])
+
+    def reset_clocks(self) -> None:
+        """Zero every machine clock (between benchmark phases)."""
+        for machine in self.machines:
+            machine.clock.reset()
+            machine.disk.invalidate_head()
+
+    def total_counters(self) -> dict[str, float]:
+        """Cluster-wide counter totals."""
+        totals: dict[str, float] = {}
+        for machine in self.machines:
+            for name, value in machine.counters:
+                totals[name] = totals.get(name, 0.0) + value
+        return totals
+
+    def kill_server(self, name: str, *, permanent: bool = False):
+        """Crash a tablet server; optionally trigger permanent failover.
+
+        Returns the :class:`~repro.core.master.FailoverReport` for
+        permanent failures, else None.
+        """
+        server = self.server_by_name(name)
+        server.crash()
+        if permanent:
+            return self.master.handle_permanent_failure(name)
+        return None

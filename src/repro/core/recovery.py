@@ -1,0 +1,234 @@
+"""Failure recovery (§3.8): redo from the last consistent checkpoint.
+
+Recovery of a restarted tablet server:
+
+1. reload the persisted index files (if a checkpoint exists);
+2. redo-scan the log from the checkpoint position: committed writes whose
+   LSN exceeds the checkpointed LSN are re-applied to the indexes;
+   invalidated entries re-apply their deletions; writes of transactions
+   with no commit record are ignored (MVOCC defers all modifications to
+   commit time, so redo-only recovery is sufficient — no undo).
+
+Permanent failure of a server instead *splits* its log by tablet (the
+log is in the shared DFS) so healthy servers can adopt the tablets and
+recover them from the split files.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+from repro.core.checkpoint import CheckpointManager
+from repro.core.tablet_server import TabletServer
+from repro.dfs.filesystem import DFS
+from repro.errors import TabletNotFound
+from repro.sim.machine import Machine
+from repro.wal.record import LogPointer, LogRecord, RecordType
+from repro.wal.repository import LogRepository
+
+
+@dataclass
+class RecoveryReport:
+    """What a recovery pass did (asserted by tests, reported by benches)."""
+
+    used_checkpoint: bool = False
+    checkpoint_lsn: int = 0
+    records_scanned: int = 0
+    writes_applied: int = 0
+    deletes_applied: int = 0
+    uncommitted_ignored: int = 0
+    seconds: float = 0.0
+
+
+def redo_scan(
+    server: TabletServer,
+    *,
+    start: LogPointer | None = None,
+    min_lsn: int = 0,
+    repository: LogRepository | None = None,
+) -> RecoveryReport:
+    """Redo committed log records into the server's indexes.
+
+    Args:
+        server: the recovering (or adopting) server.
+        start: log position to scan from (checkpoint position); None scans
+            the whole log.
+        min_lsn: records at or below this LSN are already reflected in the
+            reloaded checkpoint and are skipped.
+        repository: log to scan; defaults to the server's own log (a
+            split-log file from a failed peer may be passed instead).
+
+    Transactional writes are buffered per transaction and applied only
+    when that transaction's COMMIT record is found; trailing uncommitted
+    writes are ignored (they will disappear at the next compaction).
+    """
+    report = RecoveryReport()
+    log = repository if repository is not None else server.log
+    pending: dict[int, list[tuple[LogPointer, LogRecord]]] = defaultdict(list)
+    max_lsn = min_lsn
+    for pointer, record in log.scan_all(start=start):
+        report.records_scanned += 1
+        max_lsn = max(max_lsn, record.lsn)
+        if record.lsn <= min_lsn:
+            continue
+        if record.record_type is RecordType.WRITE:
+            if record.txn_id == 0:
+                _apply(server, record, pointer, report)
+            else:
+                pending[record.txn_id].append((pointer, record))
+        elif record.record_type is RecordType.INVALIDATE:
+            if record.txn_id == 0:
+                _apply_delete(server, record, report)
+            else:
+                pending[record.txn_id].append((pointer, record))
+        elif record.record_type is RecordType.COMMIT:
+            for buffered_pointer, buffered in pending.pop(record.txn_id, []):
+                if buffered.record_type is RecordType.WRITE:
+                    _apply(server, buffered, buffered_pointer, report)
+                else:
+                    _apply_delete(server, buffered, report)
+        elif record.record_type is RecordType.ABORT:
+            pending.pop(record.txn_id, None)
+    report.uncommitted_ignored = sum(len(v) for v in pending.values())
+    server.log.set_next_lsn(max_lsn + 1)
+    return report
+
+
+def _apply(
+    server: TabletServer, record: LogRecord, pointer: LogPointer, report: RecoveryReport
+) -> None:
+    try:
+        index = server.index_for(record.table, record.key, record.group)
+    except TabletNotFound:
+        return  # tablet now owned elsewhere
+    index.insert(record.key, record.timestamp, pointer)
+    report.writes_applied += 1
+
+
+def _apply_delete(server: TabletServer, record: LogRecord, report: RecoveryReport) -> None:
+    try:
+        index = server.index_for(record.table, record.key, record.group)
+    except TabletNotFound:
+        return
+    index.delete_key(record.key)
+    report.deletes_applied += 1
+
+
+def recover_server(server: TabletServer, checkpoints: CheckpointManager) -> RecoveryReport:
+    """Full restart recovery: reload checkpoint (if any) then redo the tail."""
+    start_clock = server.machine.clock.now
+    # Spilled (LSM) indexes can reopen their flushed runs from the
+    # manifest instead of rebuilding them from the log.
+    for index in server.indexes().values():
+        reopen = getattr(index, "reopen", None)
+        if reopen is not None:
+            reopen()
+    start: LogPointer | None = None
+    min_lsn = 0
+    used = False
+    if checkpoints.has_checkpoint():
+        block = checkpoints.load_checkpoint()
+        start = block.position
+        min_lsn = block.lsn
+        used = True
+    report = redo_scan(server, start=start, min_lsn=min_lsn)
+    report.used_checkpoint = used
+    report.checkpoint_lsn = min_lsn
+    report.seconds = server.machine.clock.now - start_clock
+    return report
+
+
+@dataclass
+class SplitLogs:
+    """Output of :func:`split_log_by_tablet`."""
+
+    paths: dict[str, str] = field(default_factory=dict)  # tablet id -> path
+
+
+def split_log_by_tablet(
+    dfs: DFS,
+    failed_server_name: str,
+    splitter: Machine,
+    *,
+    start: LogPointer | None = None,
+    locate=None,
+) -> SplitLogs:
+    """Split a failed server's log into one file per tablet (§3.8).
+
+    "The log of the failed servers, which is stored in the shared DFS, is
+    scanned (from the consistent recovery starting point) and split into
+    separate files for each tablet."  The adopting servers then redo from
+    their tablet's split file.
+
+    Args:
+        locate: ``(table, key) -> tablet id`` used for records from
+            compacted (slim) segments, whose per-record tablet field is
+            stripped; the master passes its catalog lookup.
+    """
+    failed_log = LogRepository.reattach(
+        dfs, splitter, f"/logbase/{failed_server_name}/log"
+    )
+    buffers: dict[str, list[bytes]] = defaultdict(list)
+    for _, record in failed_log.scan_all(start=start):
+        if record.record_type in (RecordType.COMMIT, RecordType.ABORT):
+            # Commit/abort markers gate every tablet's records: replicate
+            # them into every split so per-tablet redo sees them.
+            for buffer in buffers.values():
+                buffer.append(record.encode())
+            continue
+        tablet = record.tablet
+        if not tablet and locate is not None:
+            tablet = locate(record.table, record.key)
+        buffers[tablet].append(record.encode())
+    result = SplitLogs()
+    for tablet_id, frames in buffers.items():
+        path = f"/logbase/splits/{failed_server_name}/{tablet_id}/segment-00000001.log"
+        if dfs.exists(path):
+            dfs.delete(path)
+        writer = dfs.create(path, splitter)
+        writer.append(b"".join(frames))
+        writer.close()
+        result.paths[tablet_id] = path
+    return result
+
+
+def adopt_split_log(
+    server: TabletServer, dfs: DFS, failed_server_name: str, tablet_id: str
+) -> RecoveryReport:
+    """Redo one tablet's split-log file into an adopting server's indexes.
+
+    The adopting server must already have the tablet assigned.  Note the
+    pointers applied refer to the *split* file's repository, so the
+    adopting server re-reads record payloads from the failed server's
+    original log via the shared DFS; to keep pointers valid this rewrites
+    the records into the adopter's own log (data is re-appended once,
+    which also re-homes the tablet's data locally).
+    """
+    split_root = f"/logbase/splits/{failed_server_name}/{tablet_id}"
+    split_repo = LogRepository.reattach(dfs, server.machine, split_root)
+    report = RecoveryReport()
+    pending: dict[int, list[LogRecord]] = defaultdict(list)
+
+    def replay(record: LogRecord) -> None:
+        if record.record_type is RecordType.WRITE:
+            pointer, stamped = server.log.append(record)
+            _apply(server, stamped, pointer, report)
+        elif record.record_type is RecordType.INVALIDATE:
+            server.log.append(record)
+            _apply_delete(server, record, report)
+
+    for _, record in split_repo.scan_all():
+        report.records_scanned += 1
+        if record.record_type in (RecordType.WRITE, RecordType.INVALIDATE):
+            if record.txn_id == 0:
+                replay(record)
+            else:
+                pending[record.txn_id].append(record)
+        elif record.record_type is RecordType.COMMIT:
+            for buffered in pending.pop(record.txn_id, []):
+                replay(buffered)
+        elif record.record_type is RecordType.ABORT:
+            pending.pop(record.txn_id, None)
+    report.uncommitted_ignored = sum(len(v) for v in pending.values())
+    return report

@@ -1,0 +1,129 @@
+"""Relational schemas with column groups (§3.1-3.2).
+
+LogBase adapts the relational model to column-oriented storage: a table's
+columns are clustered into *column groups* stored in separate physical
+partitions.  Every group implicitly embeds the primary key so tuples can
+be reconstructed by collecting all groups for a key.
+
+Group values travel as encoded byte strings in log records; the codec here
+is a simple length-prefixed column/value sequence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.util.varint import decode_uvarint, encode_uvarint
+
+
+@dataclass(frozen=True)
+class ColumnGroup:
+    """A named set of columns stored together.
+
+    Attributes:
+        name: group name, unique within the table.
+        columns: column names in the group (primary key excluded; it is
+            implicit in every group).
+    """
+
+    name: str
+    columns: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("column group needs a name")
+        if len(set(self.columns)) != len(self.columns):
+            raise ValueError(f"duplicate columns in group {self.name!r}")
+
+
+@dataclass(frozen=True)
+class TableSchema:
+    """A table: primary key column plus column groups.
+
+    Attributes:
+        name: table name.
+        key_column: the primary key column.
+        groups: column groups; each non-key column belongs to exactly one.
+    """
+
+    name: str
+    key_column: str
+    groups: tuple[ColumnGroup, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("table needs a name")
+        seen: set[str] = set()
+        for group in self.groups:
+            for column in group.columns:
+                if column == self.key_column:
+                    raise ValueError(
+                        f"key column {column!r} must not appear in group {group.name!r}"
+                    )
+                if column in seen:
+                    raise ValueError(f"column {column!r} in multiple groups")
+                seen.add(column)
+
+    @property
+    def group_names(self) -> list[str]:
+        """Names of all column groups, schema order."""
+        return [group.name for group in self.groups]
+
+    def group(self, name: str) -> ColumnGroup:
+        """Look up a group by name.
+
+        Raises:
+            KeyError: if no group has that name.
+        """
+        for group in self.groups:
+            if group.name == name:
+                return group
+        raise KeyError(f"table {self.name!r} has no column group {name!r}")
+
+    def group_of_column(self, column: str) -> ColumnGroup:
+        """The group that stores ``column``.
+
+        Raises:
+            KeyError: if the column is unknown (or is the key column).
+        """
+        for group in self.groups:
+            if column in group.columns:
+                return group
+        raise KeyError(f"table {self.name!r} has no column {column!r}")
+
+    def groups_for_columns(self, columns: set[str]) -> list[ColumnGroup]:
+        """The minimal set of groups covering ``columns``."""
+        needed = []
+        for group in self.groups:
+            if set(group.columns) & columns:
+                needed.append(group)
+        return needed
+
+
+def encode_group_value(values: dict[str, bytes]) -> bytes:
+    """Serialize one group's column values for a log record payload."""
+    out = bytearray()
+    out += encode_uvarint(len(values))
+    for column in sorted(values):
+        raw_col = column.encode()
+        out += encode_uvarint(len(raw_col))
+        out += raw_col
+        payload = values[column]
+        out += encode_uvarint(len(payload))
+        out += payload
+    return bytes(out)
+
+
+def decode_group_value(payload: bytes) -> dict[str, bytes]:
+    """Inverse of :func:`encode_group_value`."""
+    pos = 0
+    count, pos = decode_uvarint(payload, pos)
+    values: dict[str, bytes] = {}
+    for _ in range(count):
+        n, pos = decode_uvarint(payload, pos)
+        column = payload[pos : pos + n].decode()
+        pos += n
+        n, pos = decode_uvarint(payload, pos)
+        values[column] = payload[pos : pos + n]
+        pos += n
+    return values

@@ -1,0 +1,125 @@
+"""Operational statistics: per-server and cluster-wide snapshots.
+
+A production storage system exposes its internals; this module gathers
+what LogBase's components already track — log sizes, index entry counts
+and memory, read-cache hit rates, device counters, transaction outcomes —
+into plain dataclasses and a text rendering for dashboards/debugging.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.cluster import LogBaseCluster
+from repro.core.tablet_server import TabletServer
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """Read-buffer effectiveness."""
+
+    hits: int
+    misses: int
+    bytes_used: int
+    entries: int
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+@dataclass(frozen=True)
+class ServerStats:
+    """One tablet server's state snapshot."""
+
+    name: str
+    serving: bool
+    simulated_seconds: float
+    tablets: int
+    log_bytes: int
+    log_segments: int
+    next_lsn: int
+    index_entries: int
+    index_memory_bytes: int
+    secondary_indexes: int
+    cache: CacheStats | None
+    counters: dict[str, float] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class ClusterStats:
+    """Whole-cluster snapshot."""
+
+    servers: tuple[ServerStats, ...]
+    makespan_seconds: float
+    total_log_bytes: int
+    total_index_entries: int
+    counters: dict[str, float] = field(default_factory=dict)
+
+
+def collect_server_stats(server: TabletServer) -> ServerStats:
+    """Snapshot one tablet server."""
+    cache = None
+    if server.read_cache is not None:
+        cache = CacheStats(
+            hits=server.read_cache.hits,
+            misses=server.read_cache.misses,
+            bytes_used=server.read_cache.bytes_used,
+            entries=len(server.read_cache),
+        )
+    return ServerStats(
+        name=server.name,
+        serving=server.serving,
+        simulated_seconds=server.machine.clock.now,
+        tablets=len(server.tablets),
+        log_bytes=server.log.total_bytes(),
+        log_segments=len(server.log.segments()),
+        next_lsn=server.log.next_lsn,
+        index_entries=sum(len(index) for index in server.indexes().values()),
+        index_memory_bytes=server.index_memory_bytes(),
+        secondary_indexes=len(server.secondary.indexes()),
+        cache=cache,
+        counters=server.machine.counters.snapshot(),
+    )
+
+
+def collect_cluster_stats(cluster: LogBaseCluster) -> ClusterStats:
+    """Snapshot the whole cluster."""
+    servers = tuple(collect_server_stats(server) for server in cluster.servers)
+    return ClusterStats(
+        servers=servers,
+        makespan_seconds=cluster.elapsed_makespan(),
+        total_log_bytes=sum(s.log_bytes for s in servers),
+        total_index_entries=sum(s.index_entries for s in servers),
+        counters=cluster.total_counters(),
+    )
+
+
+def format_stats(stats: ClusterStats) -> str:
+    """Human-readable rendering of a cluster snapshot."""
+    lines = [
+        f"cluster: {len(stats.servers)} servers, "
+        f"makespan {stats.makespan_seconds:.4f}s, "
+        f"log {stats.total_log_bytes:,} B, "
+        f"{stats.total_index_entries:,} index entries",
+    ]
+    for server in stats.servers:
+        state = "up" if server.serving else "down"
+        cache = (
+            f"cache {server.cache.hit_rate:.0%} hit"
+            if server.cache is not None
+            else "no cache"
+        )
+        lines.append(
+            f"  {server.name} [{state}] tablets={server.tablets} "
+            f"log={server.log_bytes:,}B/{server.log_segments}seg "
+            f"index={server.index_entries:,}e/{server.index_memory_bytes:,}B "
+            f"{cache} lsn={server.next_lsn}"
+        )
+    interesting = ("disk.bytes_written", "disk.bytes_read", "disk.seeks", "net.messages")
+    totals = "  ".join(
+        f"{name}={stats.counters.get(name, 0):,.0f}" for name in interesting
+    )
+    lines.append(f"  totals: {totals}")
+    return "\n".join(lines)

@@ -1,0 +1,520 @@
+"""The LogBase tablet server (§3.6): log-only tablet serving.
+
+Each server manages (i) a *single log instance* in the DFS holding data of
+every tablet it serves, (ii) one in-memory multiversion index per column
+group per tablet, and (iii) an optional read buffer.  A write is appended
+to the log once, the index is updated with the returned pointer, and the
+write is done — there is no memtable flush and no separate data file,
+which is the design removing the WAL+Data write bottleneck.
+"""
+
+from __future__ import annotations
+
+from repro.config import LogBaseConfig
+from repro.coordination.tso import TimestampOracle
+from repro.core.read_cache import ReadCache
+from repro.core.tablet import Tablet, TabletId
+from repro.dfs.filesystem import DFS
+from repro.errors import ServerDownError, TabletNotFound
+from repro.index.blink import BLinkTreeIndex
+from repro.index.interface import MultiversionIndex
+from repro.index.lsm import LSMTreeIndex
+from repro.query.secondary import SecondaryIndexManager
+from repro.sim.machine import Machine
+from repro.wal.compaction import CompactionJob, CompactionResult
+from repro.wal.record import LogPointer, LogRecord, RecordType
+from repro.wal.repository import LogRepository
+
+IndexKey = tuple[str, str]  # (tablet_id str, group name)
+
+
+class TabletServer:
+    """One tablet-server process co-located with a datanode on a machine."""
+
+    def __init__(
+        self,
+        name: str,
+        machine: Machine,
+        dfs: DFS,
+        tso: TimestampOracle,
+        config: LogBaseConfig | None = None,
+    ) -> None:
+        self.name = name
+        self.machine = machine
+        self.dfs = dfs
+        self.tso = tso
+        self.config = config if config is not None else LogBaseConfig()
+        self.config.validate()
+        self.log = LogRepository(
+            dfs, machine, f"/logbase/{name}/log", self.config.segment_size
+        )
+        self.tablets: dict[str, Tablet] = {}
+        self._indexes: dict[IndexKey, MultiversionIndex] = {}
+        self.read_cache: ReadCache | None = (
+            ReadCache(self.config.cache_budget_bytes)
+            if self.config.read_cache_enabled
+            else None
+        )
+        self._update_counters: dict[IndexKey, int] = {}
+        self._index_generation = 0  # bumps when compaction replaces indexes
+        self.secondary = SecondaryIndexManager()
+        self.serving = True
+        self._checkpoint_hook = None  # wired by CheckpointManager
+
+    # -- lifecycle ------------------------------------------------------------------
+
+    def _require_serving(self) -> None:
+        if not self.serving or not self.machine.alive:
+            raise ServerDownError(f"tablet server {self.name} is down")
+
+    def crash(self) -> None:
+        """Kill the server process: every in-memory structure is lost.
+
+        The log and any checkpoint files survive in the DFS — that is the
+        whole durability story (§3.4, Guarantee 1)."""
+        self.serving = False
+        self._indexes.clear()
+        self._update_counters.clear()
+        self.secondary.clear()
+        if self.read_cache is not None:
+            self.read_cache.clear()
+
+    def restart(self) -> None:
+        """Bring the process back up with empty memory.  The caller runs
+        recovery (:mod:`repro.core.recovery`) to rebuild the indexes."""
+        self.log = LogRepository.reattach(
+            self.dfs, self.machine, f"/logbase/{self.name}/log", self.config.segment_size
+        )
+        if self.config.read_cache_enabled:
+            self.read_cache = ReadCache(self.config.cache_budget_bytes)
+        self.serving = True
+
+    # -- tablet assignment -------------------------------------------------------------
+
+    def assign_tablet(self, tablet: Tablet) -> None:
+        """Take responsibility for ``tablet``: create its group indexes."""
+        self.tablets[str(tablet.tablet_id)] = tablet
+        for group in tablet.schema.group_names:
+            self._ensure_index(tablet.tablet_id, group)
+
+    def unassign_tablet(self, tablet_id: TabletId) -> None:
+        """Drop a tablet (after reassignment elsewhere)."""
+        self.tablets.pop(str(tablet_id), None)
+        for key in [k for k in self._indexes if k[0] == str(tablet_id)]:
+            del self._indexes[key]
+            self._update_counters.pop(key, None)
+
+    def _ensure_index(self, tablet_id: TabletId, group: str) -> MultiversionIndex:
+        key = (str(tablet_id), group)
+        index = self._indexes.get(key)
+        if index is None:
+            index = self._new_index(tablet_id, group)
+            self._indexes[key] = index
+            self._update_counters[key] = 0
+        return index
+
+    def _new_index(self, tablet_id: TabletId, group: str) -> MultiversionIndex:
+        if self.config.index_kind == "lsm":
+            # Generations keep run paths of a rebuilt (post-compaction)
+            # index from colliding with its predecessor's files.
+            return LSMTreeIndex(
+                self.dfs,
+                self.machine,
+                f"/logbase/{self.name}/lsm/g{self._index_generation}/{tablet_id}/{group}",
+            )
+        return BLinkTreeIndex()
+
+    def _route(self, table: str, key: bytes) -> Tablet:
+        for tablet in self.tablets.values():
+            if tablet.table == table and tablet.covers(key):
+                return tablet
+        raise TabletNotFound(f"server {self.name} has no tablet for {table}:{key!r}")
+
+    def index_for(self, table: str, key: bytes, group: str) -> MultiversionIndex:
+        """The index responsible for (table, key, group) on this server."""
+        tablet = self._route(table, key)
+        return self._ensure_index(tablet.tablet_id, group)
+
+    def indexes(self) -> dict[IndexKey, MultiversionIndex]:
+        """All (tablet, group) indexes (checkpointing, diagnostics)."""
+        return dict(self._indexes)
+
+    # -- write path (§3.6.1) -------------------------------------------------------------
+
+    def write(
+        self,
+        table: str,
+        key: bytes,
+        group_values: dict[str, bytes],
+        *,
+        timestamp: int | None = None,
+        txn_id: int = 0,
+    ) -> int:
+        """Insert/update one record's column groups.
+
+        The write is transformed into log records, persisted with a single
+        group-commit batch, and the per-group indexes are updated with the
+        returned offsets.  Returns the version timestamp.
+        """
+        self._require_serving()
+        tablet = self._route(table, key)
+        if timestamp is None:
+            timestamp = self.tso.next_timestamp()
+        records = [
+            LogRecord(
+                record_type=RecordType.WRITE,
+                txn_id=txn_id,
+                table=table,
+                tablet=str(tablet.tablet_id),
+                key=key,
+                group=group,
+                timestamp=timestamp,
+                value=value,
+            )
+            for group, value in group_values.items()
+        ]
+        appended = self.log.append_batch(records)
+        for pointer, record in appended:
+            self._apply_write(tablet, record, pointer)
+        return timestamp
+
+    def write_batch(
+        self,
+        table: str,
+        items: list[tuple[bytes, dict[str, bytes]]],
+        *,
+        txn_id: int = 0,
+    ) -> list[int]:
+        """Insert/update many records with a single log append.
+
+        Bulk-loading clients buffer puts and ship them in batches, so the
+        whole batch pays one replication round trip; each record still
+        gets its own version timestamp.  Returns the timestamps in item
+        order.
+        """
+        self._require_serving()
+        records: list[LogRecord] = []
+        timestamps: list[int] = []
+        for key, group_values in items:
+            tablet = self._route(table, key)
+            timestamp = self.tso.next_timestamp()
+            timestamps.append(timestamp)
+            for group, value in group_values.items():
+                records.append(
+                    LogRecord(
+                        record_type=RecordType.WRITE,
+                        txn_id=txn_id,
+                        table=table,
+                        tablet=str(tablet.tablet_id),
+                        key=key,
+                        group=group,
+                        timestamp=timestamp,
+                        value=value,
+                    )
+                )
+        for pointer, record in self.log.append_batch(records):
+            self._apply_write(self._route(record.table, record.key), record, pointer)
+        return timestamps
+
+    def group_committer(self):
+        """A :class:`~repro.txn.batch.GroupCommitter` over this server's
+        log, sized by ``config.group_commit_batch`` (§3.7.2) — for callers
+        that stream many independent records and want the batching
+        optimization without managing batch boundaries themselves."""
+        from repro.txn.batch import GroupCommitter
+
+        return GroupCommitter(self.log, self.config.group_commit_batch)
+
+    def append_transactional(
+        self, records: list[LogRecord]
+    ) -> list[tuple[LogPointer, LogRecord]]:
+        """Persist a transaction's writes plus its commit record in one
+        batch (§3.7.2), *without* touching the indexes.
+
+        The transaction manager calls :meth:`apply_committed` afterwards;
+        keeping the append separate from index application is what makes
+        the commit record the visibility gate (Guarantee 3)."""
+        self._require_serving()
+        return self.log.append_batch(records)
+
+    def apply_committed(self, appended: list[tuple[LogPointer, LogRecord]]) -> None:
+        """Reflect a committed transaction's writes and deletes into the
+        indexes (called only after the commit record is durable)."""
+        for pointer, record in appended:
+            if record.record_type is RecordType.WRITE:
+                tablet = self._route(record.table, record.key)
+                self._apply_write(tablet, record, pointer)
+            elif record.record_type is RecordType.INVALIDATE:
+                tablet = self._route(record.table, record.key)
+                index = self._ensure_index(tablet.tablet_id, record.group)
+                index.delete_key(record.key)
+                self.secondary.on_delete(record.table, record.group, record.key)
+                if self.read_cache is not None:
+                    self.read_cache.invalidate(record.table, record.group, record.key)
+
+    def _apply_write(self, tablet: Tablet, record: LogRecord, pointer: LogPointer) -> None:
+        index = self._ensure_index(tablet.tablet_id, record.group)
+        index.insert(record.key, record.timestamp, pointer)
+        if self.read_cache is not None and record.value is not None:
+            self.read_cache.put(
+                record.table, record.group, record.key, record.timestamp, record.value
+            )
+        if record.value is not None and self.secondary.has_any():
+            self.secondary.on_write(
+                record.table, record.group, record.key, record.timestamp, record.value
+            )
+        self._bump_update_counter((str(tablet.tablet_id), record.group))
+
+    def _bump_update_counter(self, index_key: IndexKey) -> None:
+        self._update_counters[index_key] = self._update_counters.get(index_key, 0) + 1
+        threshold = self.config.checkpoint_update_threshold
+        if (
+            threshold
+            and self._update_counters[index_key] >= threshold
+            and self._checkpoint_hook is not None
+        ):
+            self._update_counters[index_key] = 0
+            self._checkpoint_hook(self)
+
+    def set_checkpoint_hook(self, hook) -> None:
+        """Install the callable invoked when an update counter trips
+        (wired by :class:`~repro.core.checkpoint.CheckpointManager`)."""
+        self._checkpoint_hook = hook
+
+    # -- read path (§3.6.2) ----------------------------------------------------------------
+
+    def read(
+        self, table: str, key: bytes, group: str, *, as_of: int | None = None
+    ) -> tuple[int, bytes] | None:
+        """Get one record version.
+
+        Returns ``(timestamp, value)`` of the latest version, or of the
+        latest version at/before ``as_of`` for historical reads; None if
+        the record does not exist (or is deleted).
+        """
+        self._require_serving()
+        tablet = self._route(table, key)  # reject keys this server no longer owns
+        if self.read_cache is not None:
+            cached = self.read_cache.get(table, group, key)
+            if cached is not None:
+                # The cache always holds the newest version (every write
+                # refreshes it), so it also answers a snapshot read whose
+                # timestamp is at or past that version: no newer version
+                # can be visible to the snapshot.
+                if as_of is None or cached[0] <= as_of:
+                    return cached
+        index = self._ensure_index(tablet.tablet_id, group)
+        entry = (
+            index.lookup_latest(key) if as_of is None else index.lookup_asof(key, as_of)
+        )
+        if entry is None:
+            return None
+        record = self.log.read(entry.pointer)
+        if record.value is None:
+            return None
+        if as_of is None and self.read_cache is not None:
+            self.read_cache.put(table, group, key, entry.timestamp, record.value)
+        return entry.timestamp, record.value
+
+    def read_version_timestamp(self, table: str, key: bytes, group: str) -> int | None:
+        """Current version timestamp only (MVOCC validation, §3.7.1)."""
+        self._require_serving()
+        entry = self.index_for(table, key, group).lookup_latest(key)
+        return None if entry is None else entry.timestamp
+
+    # -- delete path (§3.6.3) ----------------------------------------------------------------
+
+    def delete(self, table: str, key: bytes, group: str, *, txn_id: int = 0) -> int:
+        """Delete a record from a column group.
+
+        Step 1 removes all index entries; step 2 persists an invalidated
+        log entry (null Data) so the delete survives restarts whose
+        checkpoint still contains the removed entries.
+        """
+        self._require_serving()
+        tablet = self._route(table, key)
+        timestamp = self.tso.next_timestamp()
+        index = self._ensure_index(tablet.tablet_id, group)
+        removed = index.delete_key(key)
+        self.secondary.on_delete(table, group, key)
+        marker = LogRecord(
+            record_type=RecordType.INVALIDATE,
+            txn_id=txn_id,
+            table=table,
+            tablet=str(tablet.tablet_id),
+            key=key,
+            group=group,
+            timestamp=timestamp,
+            value=None,
+        )
+        self.log.append(marker)
+        if self.read_cache is not None:
+            self.read_cache.invalidate(table, group, key)
+        return removed
+
+    # -- scans (§3.6.4) ---------------------------------------------------------------------
+
+    def range_scan(
+        self,
+        table: str,
+        group: str,
+        start_key: bytes,
+        end_key: bytes,
+        *,
+        as_of: int | None = None,
+    ):
+        """Yield (key, timestamp, value) for the latest visible version of
+        every key in [start_key, end_key) on this server.
+
+        Walks the index in key order and follows each pointer into the
+        log; before compaction those are scattered random reads, after
+        compaction the pointers are clustered so consecutive reads become
+        sequential — exactly the Figure 10 effect.
+        """
+        self._require_serving()
+        for tablet in sorted(
+            (t for t in self.tablets.values() if t.table == table),
+            key=lambda t: t.key_range.start,
+        ):
+            index = self._ensure_index(tablet.tablet_id, group)
+            for entry in index.latest_in_range(start_key, end_key, as_of=as_of):
+                record = self.log.read(entry.pointer)
+                if record.value is not None:
+                    yield entry.key, entry.timestamp, record.value
+
+    def full_scan(self, table: str, group: str):
+        """Yield (key, timestamp, value) of current versions via a
+        sequential pass over the log segments.
+
+        "For each scanned record, the system checks its stored version
+        with the current version maintained in the in-memory index to
+        determine whether the record contains latest data" (§3.6.4).
+        """
+        self._require_serving()
+        for file_no in self.log.segments():
+            scope = self.log.segment_scope(file_no)
+            if scope is not None and scope != (table, group):
+                # Sorted segment holding a different (table, group):
+                # the segment metadata map lets us skip it wholesale
+                # (the §3.6.5 clustering payoff).
+                continue
+            for _, record in self.log.scan_segment(file_no):
+                if (
+                    record.record_type is not RecordType.WRITE
+                    or record.table != table
+                    or record.group != group
+                    or record.value is None
+                ):
+                    continue
+                try:
+                    index = self.index_for(table, record.key, group)
+                except TabletNotFound:
+                    continue
+                latest = index.lookup_latest(record.key)
+                if latest is not None and latest.timestamp == record.timestamp:
+                    yield record.key, record.timestamp, record.value
+
+    # -- compaction (§3.6.5) --------------------------------------------------------------------
+
+    def compact(self, *, retain_after: int | None = None) -> CompactionResult:
+        """Run log compaction and swap in the rebuilt indexes.
+
+        Args:
+            retain_after: optional retention cutoff — historical versions
+                older than this timestamp are expired (each key's newest
+                version always survives).
+        """
+        self._require_serving()
+        inputs = self.log.segments()
+        self.log.roll()
+
+        def owned(table: str, key: bytes) -> bool:
+            return any(
+                tablet.table == table and tablet.covers(key)
+                for tablet in self.tablets.values()
+            )
+
+        # Records of tablets this server no longer hosts (moved away by a
+        # rebalance or failover) are dropped: their new owner re-homed
+        # them into its own log at adoption time.
+        job = CompactionJob(
+            self.log,
+            self.config.max_versions,
+            owned=owned,
+            retain_after=retain_after,
+        )
+        result = job.run(inputs)
+        self._index_generation += 1
+        rebuilt: dict[IndexKey, MultiversionIndex] = {}
+        for table, group, key, timestamp, pointer in result.index_entries:
+            tablet = self._route(table, key)
+            index_key = (str(tablet.tablet_id), group)
+            index = rebuilt.get(index_key)
+            if index is None:
+                index = self._new_index(tablet.tablet_id, group)
+                rebuilt[index_key] = index
+            index.insert(key, timestamp, pointer)
+        # Tablet/group combinations with no surviving data get fresh
+        # empty indexes so lookups keep working.
+        for tablet in self.tablets.values():
+            for group in tablet.schema.group_names:
+                rebuilt.setdefault(
+                    (str(tablet.tablet_id), group), self._new_index(tablet.tablet_id, group)
+                )
+        # Spilled (LSM) indexes leave run files behind; destroy the old
+        # generation's files before swapping in the rebuilt indexes.
+        for index in self._indexes.values():
+            destroy = getattr(index, "destroy", None)
+            if destroy is not None:
+                destroy()
+        self._indexes = rebuilt
+        # Any earlier checkpoint points into the segments just retired, so
+        # it must be superseded before the old segments are truly "safely
+        # discarded" (§3.6.5): write a fresh checkpoint over the rebuilt
+        # indexes.
+        if self._checkpoint_hook is not None:
+            self._checkpoint_hook(self)
+        return result
+
+    # -- secondary indexes (the paper's future-work extension) ------------------------------------
+
+    def create_secondary_index(self, table: str, group: str, column: str):
+        """Register a secondary index on ``table.column`` and backfill it
+        from the current versions already on this server."""
+        index = self.secondary.create(table, group, column)
+        self.rebuild_secondary_indexes(only=index)
+        return index
+
+    def rebuild_secondary_indexes(self, only=None) -> int:
+        """Rebuild secondary indexes from the primary indexes + log.
+
+        Called after recovery (the redo path feeds primary indexes
+        directly) or to backfill a newly created index.  Returns the
+        number of entries fed."""
+        targets = [only] if only is not None else self.secondary.indexes()
+        fed = 0
+        for index in targets:
+            index.clear()
+            for (tablet_id, group), primary in self._indexes.items():
+                tablet = self.tablets.get(tablet_id)
+                if tablet is None or tablet.table != index.table or group != index.group:
+                    continue
+                for entry in primary.latest_in_range(b"", b"\xff" * 64):
+                    record = self.log.read(entry.pointer)
+                    if record.value is None:
+                        continue
+                    self.secondary.on_write(
+                        index.table, group, entry.key, entry.timestamp, record.value
+                    )
+                    fed += 1
+        return fed
+
+    # -- accounting ------------------------------------------------------------------------------
+
+    def index_memory_bytes(self) -> int:
+        """Total resident index memory on this server."""
+        return sum(index.memory_bytes() for index in self._indexes.values())
+
+    def data_bytes(self) -> int:
+        """Total live log bytes this server has written."""
+        return self.log.total_bytes()

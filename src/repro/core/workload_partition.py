@@ -1,0 +1,152 @@
+"""Workload-driven horizontal partitioning (§3.2).
+
+For applications whose data "cannot be naturally partitioned into entity
+groups", the paper points to two alternatives: a group formation protocol
+that clusters records into key groups [G-Store], and the workload-driven
+approach of Schism [11]: "this approach models the transaction workload
+as a graph in which data records constitute vertices and transactions
+constitute edges.  A graph partitioning algorithm is used to split the
+graph into sub partitions while reducing number of cross-partition
+transactions."
+
+This module implements that advisor: build the co-access graph from a
+transaction trace, partition it with recursive Kernighan-Lin bisection
+(networkx), and score assignments by the fraction of transactions that
+would need two-phase commit.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from itertools import combinations
+
+import networkx as nx
+
+TransactionTrace = list[set[bytes]]  # keys co-accessed per transaction
+
+
+@dataclass
+class PartitionAssignment:
+    """A key -> partition mapping plus its quality metrics."""
+
+    n_partitions: int
+    mapping: dict[bytes, int] = field(default_factory=dict)
+
+    def partition_of(self, key: bytes) -> int:
+        """Partition hosting ``key`` (unseen keys hash onto a partition)."""
+        assigned = self.mapping.get(key)
+        if assigned is not None:
+            return assigned
+        return hash(key) % self.n_partitions
+
+    def partitions_touched(self, keys: set[bytes]) -> set[int]:
+        """Partitions one transaction's key set spans."""
+        return {self.partition_of(key) for key in keys}
+
+    def distributed_fraction(self, trace: TransactionTrace) -> float:
+        """Share of transactions spanning more than one partition — each
+        of these pays two-phase commit (§3.7.2)."""
+        if not trace:
+            return 0.0
+        distributed = sum(
+            1 for keys in trace if len(self.partitions_touched(keys)) > 1
+        )
+        return distributed / len(trace)
+
+    def balance(self) -> float:
+        """max/mean partition size (1.0 = perfectly balanced)."""
+        sizes = defaultdict(int)
+        for partition in self.mapping.values():
+            sizes[partition] += 1
+        if not sizes:
+            return 1.0
+        counts = [sizes.get(p, 0) for p in range(self.n_partitions)]
+        mean = sum(counts) / len(counts)
+        return max(counts) / mean if mean else 1.0
+
+
+def hash_assignment(keys: set[bytes], n_partitions: int) -> PartitionAssignment:
+    """Baseline: hash keys onto partitions (ignores the workload)."""
+    assignment = PartitionAssignment(n_partitions)
+    for key in keys:
+        assignment.mapping[key] = hash(key) % n_partitions
+    return assignment
+
+
+def range_assignment(keys: set[bytes], n_partitions: int) -> PartitionAssignment:
+    """Baseline: contiguous key ranges (LogBase's default tablets)."""
+    assignment = PartitionAssignment(n_partitions)
+    ordered = sorted(keys)
+    per_part = max(1, (len(ordered) + n_partitions - 1) // n_partitions)
+    for i, key in enumerate(ordered):
+        assignment.mapping[key] = min(i // per_part, n_partitions - 1)
+    return assignment
+
+
+class WorkloadPartitioner:
+    """Schism-style graph partitioner over a transaction trace.
+
+    Args:
+        n_partitions: target partition count (rounded up internally to a
+            power of two for recursive bisection; outputs are re-labelled
+            back into ``n_partitions`` buckets by balanced merging).
+    """
+
+    def __init__(self, n_partitions: int) -> None:
+        if n_partitions < 1:
+            raise ValueError("need at least one partition")
+        self.n_partitions = n_partitions
+
+    def build_graph(self, trace: TransactionTrace) -> nx.Graph:
+        """The co-access graph: record vertices, weighted co-access edges."""
+        graph = nx.Graph()
+        for keys in trace:
+            for key in keys:
+                if not graph.has_node(key):
+                    graph.add_node(key)
+            for a, b in combinations(sorted(keys), 2):
+                if graph.has_edge(a, b):
+                    graph[a][b]["weight"] += 1
+                else:
+                    graph.add_edge(a, b, weight=1)
+        return graph
+
+    def partition(self, trace: TransactionTrace) -> PartitionAssignment:
+        """Partition the trace's keys to minimize cross-partition edges."""
+        graph = self.build_graph(trace)
+        parts: list[set[bytes]] = [set(graph.nodes)]
+        # Recursive weighted bisection until enough parts exist.
+        while len(parts) < self.n_partitions:
+            parts.sort(key=len, reverse=True)
+            biggest = parts.pop(0)
+            if len(biggest) < 2:
+                parts.append(biggest)
+                break
+            sub = graph.subgraph(biggest)
+            left, right = nx.algorithms.community.kernighan_lin_bisection(
+                sub, weight="weight", seed=7
+            )
+            parts.extend([set(left), set(right)])
+        # If bisection overshot a non-power-of-two target, merge the two
+        # smallest parts until the count fits.
+        while len(parts) > self.n_partitions:
+            parts.sort(key=len)
+            merged = parts.pop(0) | parts.pop(0)
+            parts.append(merged)
+        assignment = PartitionAssignment(self.n_partitions)
+        for partition_id, keys in enumerate(parts):
+            for key in keys:
+                assignment.mapping[key] = partition_id
+        return assignment
+
+    def compare(
+        self, trace: TransactionTrace
+    ) -> dict[str, PartitionAssignment]:
+        """The workload-driven assignment next to both baselines."""
+        keys = {key for txn in trace for key in txn}
+        return {
+            "hash": hash_assignment(keys, self.n_partitions),
+            "range": range_assignment(keys, self.n_partitions),
+            "workload-driven": self.partition(trace),
+        }

@@ -1,0 +1,15 @@
+"""An in-process distributed file system modelled after HDFS.
+
+Provides the substrate LogBase stores everything in: a namenode holding
+the namespace and block locations, datanodes holding replicated byte
+blocks, rack-aware n-way synchronous replication, and append-only files
+read by offset.  Charging of disk and network costs flows through the
+:mod:`repro.sim` device models.
+"""
+
+from repro.dfs.block import BlockInfo
+from repro.dfs.datanode import DataNode
+from repro.dfs.namenode import NameNode
+from repro.dfs.filesystem import DFS, DFSWriter, DFSReader
+
+__all__ = ["BlockInfo", "DataNode", "NameNode", "DFS", "DFSWriter", "DFSReader"]

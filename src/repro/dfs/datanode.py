@@ -1,0 +1,115 @@
+"""Datanode: stores replica payloads on a machine's simulated disk.
+
+Each replica is held as a bytearray (the simulation's "disk contents")
+while read/write *costs* are charged through the machine's
+:class:`~repro.sim.disk.SimDisk`, keyed by block id so that sequential
+appends to the same block are charged sequential-transfer cost and reads
+elsewhere pay seeks.
+"""
+
+from __future__ import annotations
+
+from repro.errors import BlockCorruptionError, DataNodeDownError
+from repro.sim.machine import Machine
+from repro.util.crc import crc32c
+
+
+class DataNode:
+    """One datanode process, co-located on a :class:`Machine`.
+
+    Args:
+        machine: the hosting machine.
+        checksum_replicas: maintain incremental CRC-32C over every
+            replica (verification tests enable this; benchmarks leave it
+            off since log records carry their own checksums).
+    """
+
+    def __init__(self, machine: Machine, checksum_replicas: bool = False) -> None:
+        self.machine = machine
+        self.checksum_replicas = checksum_replicas
+        self._blocks: dict[int, bytearray] = {}
+        self._checksums: dict[int, int] = {}
+
+    @property
+    def name(self) -> str:
+        """The hosting machine's name (datanodes are addressed by host)."""
+        return self.machine.name
+
+    @property
+    def alive(self) -> bool:
+        """Whether the hosting machine is up."""
+        return self.machine.alive
+
+    def fail(self) -> None:
+        """Crash the hosting machine."""
+        self.machine.fail()
+
+    def _require_alive(self) -> None:
+        if not self.alive:
+            raise DataNodeDownError(f"datanode {self.name} is down")
+
+    def has_block(self, block_id: int) -> bool:
+        """Whether this datanode holds a replica of ``block_id``."""
+        return block_id in self._blocks
+
+    def block_length(self, block_id: int) -> int:
+        """Current length of the local replica."""
+        return len(self._blocks[block_id])
+
+    def create_replica(self, block_id: int) -> None:
+        """Allocate an empty replica for a new block."""
+        self._require_alive()
+        self._blocks[block_id] = bytearray()
+        self._checksums[block_id] = 0
+
+    def append_replica(self, block_id: int, data: bytes) -> float:
+        """Append ``data`` to the local replica, charging disk cost.
+
+        Returns:
+            Seconds of disk time charged to the hosting machine.
+        """
+        self._require_alive()
+        replica = self._blocks[block_id]
+        cost = self.machine.disk.write_buffered(len(data))
+        replica.extend(data)
+        if self.checksum_replicas:
+            self._checksums[block_id] = crc32c(data, self._checksums[block_id])
+        return cost
+
+    def read_replica(self, block_id: int, offset: int, length: int) -> tuple[bytes, float]:
+        """Read ``length`` bytes of the replica at ``offset``.
+
+        Returns:
+            ``(payload, seconds_charged)``.
+
+        Raises:
+            DataNodeDownError: if the machine is down.
+            BlockCorruptionError: if the read range exceeds the replica.
+        """
+        self._require_alive()
+        replica = self._blocks[block_id]
+        if offset + length > len(replica):
+            raise BlockCorruptionError(
+                f"read past end of block {block_id}: "
+                f"offset={offset} length={length} have={len(replica)}"
+            )
+        cost = self.machine.disk.read(block_id, offset, length)
+        return bytes(replica[offset : offset + length]), cost
+
+    def verify_replica(self, block_id: int) -> bool:
+        """Re-checksum the full replica against the running checksum.
+
+        Always returns True when ``checksum_replicas`` is off (nothing to
+        verify against)."""
+        self._require_alive()
+        replica = self._blocks.get(block_id)
+        if replica is None:
+            return False
+        if not self.checksum_replicas:
+            return True
+        return crc32c(bytes(replica)) == self._checksums[block_id]
+
+    def drop_replica(self, block_id: int) -> None:
+        """Delete the local replica (file deletion / re-replication)."""
+        self._blocks.pop(block_id, None)
+        self._checksums.pop(block_id, None)

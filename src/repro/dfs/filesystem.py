@@ -1,0 +1,328 @@
+"""DFS facade: append-only files over replicated blocks.
+
+Writes run a synchronous replication pipeline: the payload is appended to
+the first replica (normally the writer's local datanode), streamed once
+down the pipeline to the remaining replicas, and the append returns only
+after every replica has acknowledged — mirroring HDFS's hflush semantics
+that both LogBase and HBase depend on for durability (Guarantee 1).
+
+Cost accounting: the writer's clock advances by its local disk write plus
+one pipelined network transfer plus a replication acknowledgement latency;
+each remote replica's machine clock advances by its own disk write.  With
+every machine in the cluster simultaneously writing and receiving replica
+streams, the cluster-wide makespan therefore reflects the 3x disk traffic
+that n-way replication creates — the effect that bounds load throughput in
+the paper's Figure 11.
+"""
+
+from __future__ import annotations
+
+from repro.dfs.block import BlockInfo, FileMeta
+from repro.dfs.datanode import DataNode
+from repro.dfs.namenode import NameNode
+from repro.errors import (
+    DataNodeDownError,
+    DFSError,
+    FileClosedError,
+    FileNotFoundInDFS,
+)
+from repro.sim.machine import Machine
+from repro.sim.network import NetworkModel
+
+DEFAULT_BLOCK_SIZE = 64 * 1024 * 1024
+
+
+class DFS:
+    """The distributed file system shared by every server in the cluster.
+
+    Args:
+        machines: hosts to run one datanode on each.
+        replication: synchronous replication factor (paper default: 3).
+        block_size: maximum bytes per block (paper default: 64 MB).
+    """
+
+    def __init__(
+        self,
+        machines: list[Machine],
+        replication: int = 3,
+        block_size: int = DEFAULT_BLOCK_SIZE,
+        checksum_replicas: bool = False,
+    ) -> None:
+        if not machines:
+            raise ValueError("a DFS needs at least one machine")
+        self.block_size = block_size
+        self.network: NetworkModel = machines[0].network
+        self.namenode = NameNode(replication=min(replication, len(machines)))
+        self.datanodes: dict[str, DataNode] = {}
+        for machine in machines:
+            node = DataNode(machine, checksum_replicas=checksum_replicas)
+            self.datanodes[node.name] = node
+            self.namenode.register_datanode(node.name, machine.rack)
+
+    def rereplicate(self) -> int:
+        """Restore the replication factor of under-replicated blocks.
+
+        Real HDFS does this continuously when datanodes die; here it is an
+        explicit pass: for every block with fewer live replicas than the
+        replication factor, a surviving replica is copied to a live
+        datanode that lacks one.  Returns the number of new replicas
+        created.
+
+        Raises:
+            DFSError: if a block has no live replica left (data loss).
+        """
+        created = 0
+        alive = self._alive()
+        for path in self.namenode.list_files():
+            for block in self.namenode.get_file(path).blocks:
+                live = [loc for loc in block.locations if loc in alive]
+                if not live:
+                    raise DFSError(
+                        f"block {block.block_id} of {path} has no live replica"
+                    )
+                want = min(self.namenode.replication, len(alive))
+                if len(live) >= want:
+                    continue
+                source = self.datanodes[live[0]]
+                targets = [
+                    name for name in alive
+                    if name not in live and not self.datanodes[name].has_block(block.block_id)
+                ]
+                for target_name in targets[: want - len(live)]:
+                    payload, _ = source.read_replica(
+                        block.block_id, 0, source.block_length(block.block_id)
+                    )
+                    target = self.datanodes[target_name]
+                    source.machine.send(target.machine, len(payload))
+                    target.create_replica(block.block_id)
+                    target.append_replica(block.block_id, payload)
+                    block.locations.append(target_name)
+                    live.append(target_name)
+                    created += 1
+        return created
+
+    def add_machine(self, machine: Machine) -> DataNode:
+        """Start a datanode on a newly provisioned machine (elastic
+        scale-out: new blocks may be placed on it immediately)."""
+        node = DataNode(machine)
+        self.datanodes[node.name] = node
+        self.namenode.register_datanode(node.name, machine.rack)
+        return node
+
+    # -- helpers -------------------------------------------------------------
+
+    def _alive(self) -> set[str]:
+        return {name for name, node in self.datanodes.items() if node.alive}
+
+    def datanode(self, name: str) -> DataNode:
+        """The datanode co-located on machine ``name``."""
+        return self.datanodes[name]
+
+    # -- namespace operations -------------------------------------------------
+
+    def create(self, path: str, writer: Machine) -> "DFSWriter":
+        """Create ``path`` and return an append-only writer bound to
+        ``writer`` (the machine doing the writing)."""
+        self.namenode.create_file(path)
+        return DFSWriter(self, path, writer)
+
+    def open_for_append(self, path: str, writer: Machine) -> "DFSWriter":
+        """Reopen an existing file for further appends."""
+        self.namenode.get_file(path)
+        return DFSWriter(self, path, writer)
+
+    def open(self, path: str, reader: Machine) -> "DFSReader":
+        """Open ``path`` for positional reads on behalf of ``reader``."""
+        meta = self.namenode.get_file(path)
+        return DFSReader(self, meta, reader)
+
+    def exists(self, path: str) -> bool:
+        """Whether ``path`` exists."""
+        return self.namenode.exists(path)
+
+    def delete(self, path: str) -> None:
+        """Delete ``path`` and drop all of its replicas."""
+        meta = self.namenode.delete_file(path)
+        for block in meta.blocks:
+            for location in block.locations:
+                node = self.datanodes.get(location)
+                if node is not None and node.alive:
+                    node.drop_replica(block.block_id)
+
+    def rename(self, src: str, dst: str) -> None:
+        """Atomically rename ``src`` to ``dst``."""
+        self.namenode.rename(src, dst)
+
+    def list_files(self, prefix: str = "") -> list[str]:
+        """Paths under ``prefix``, sorted."""
+        return self.namenode.list_files(prefix)
+
+    def file_length(self, path: str) -> int:
+        """Length of ``path`` in bytes."""
+        return self.namenode.get_file(path).length
+
+    # -- replication internals -------------------------------------------------
+
+    def _append_to_block(self, block: BlockInfo, data: bytes, writer: Machine) -> None:
+        """Run the synchronous replication pipeline for one append."""
+        live = [
+            self.datanodes[name]
+            for name in block.locations
+            if self.datanodes[name].alive
+        ]
+        if not live:
+            raise DFSError(f"no live replica for block {block.block_id}")
+        primary, *secondaries = live
+        # The writer streams to the primary (loopback when co-located)...
+        writer.send(primary.machine, len(data))
+        primary.append_replica(block.block_id, data)
+        # ...which pipelines once to the remaining replicas; remote disks pay
+        # their own write cost on their own clocks.
+        for replica in secondaries:
+            primary.machine.counters.add("net.bytes_sent", len(data))
+            replica.machine.clock.advance(self.network.transfer_cost(len(data)))
+            replica.append_replica(block.block_id, data)
+        # Synchronous ack travels back up the pipeline before return.
+        writer.clock.advance(self.network.latency * len(secondaries))
+        block.length += len(data)
+
+
+class DFSWriter:
+    """Append-only handle on a DFS file.
+
+    Appends that overflow the current block allocate a new one; an append
+    never spans a block boundary unless the payload itself is bigger than
+    a block, in which case it is split.
+    """
+
+    def __init__(self, dfs: DFS, path: str, writer: Machine) -> None:
+        self._dfs = dfs
+        self._path = path
+        self._writer = writer
+        self._closed = False
+
+    @property
+    def path(self) -> str:
+        """The file being written."""
+        return self._path
+
+    @property
+    def length(self) -> int:
+        """Current file length (== offset of the next append)."""
+        return self._dfs.namenode.get_file(self._path).length
+
+    def append(self, data: bytes) -> int:
+        """Durably append ``data``; returns the starting file offset.
+
+        The call returns only after every replica holds the bytes
+        (synchronous replication).
+
+        Raises:
+            FileClosedError: if the writer has been closed.
+        """
+        if self._closed:
+            raise FileClosedError(self._path)
+        meta = self._dfs.namenode.get_file(self._path)
+        start_offset = meta.length
+        remaining = memoryview(data)
+        while len(remaining) > 0:
+            block = self._current_block(meta)
+            room = self._dfs.block_size - block.length
+            chunk = bytes(remaining[:room])
+            remaining = remaining[room:] if room < len(remaining) else remaining[len(remaining):]
+            self._dfs._append_to_block(block, chunk, self._writer)
+        return start_offset
+
+    def _current_block(self, meta: FileMeta) -> BlockInfo:
+        if meta.blocks and meta.blocks[-1].length < self._dfs.block_size:
+            return meta.blocks[-1]
+        block = self._dfs.namenode.allocate_block(
+            self._path, self._writer.name, self._dfs._alive()
+        )
+        for location in block.locations:
+            self._dfs.datanodes[location].create_replica(block.block_id)
+        return block
+
+    def close(self) -> None:
+        """Finalize the file; further appends raise."""
+        self._closed = True
+        self._dfs.namenode.get_file(self._path).closed = True
+
+
+class DFSReader:
+    """Positional reader over a DFS file.
+
+    Reads prefer the replica co-located with the reader (HDFS short-circuit
+    reads), then any replica on the reader's rack, then any live replica.
+    """
+
+    def __init__(self, dfs: DFS, meta: FileMeta, reader: Machine) -> None:
+        self._dfs = dfs
+        self._meta = meta
+        self._reader = reader
+
+    @property
+    def length(self) -> int:
+        """Current file length."""
+        return self._meta.length
+
+    def read(self, offset: int, length: int) -> bytes:
+        """Read ``length`` bytes starting at file ``offset``.
+
+        Raises:
+            FileNotFoundInDFS: if the range is beyond the end of file.
+        """
+        if offset + length > self._meta.length:
+            raise FileNotFoundInDFS(
+                f"read past EOF of {self._meta.path}: "
+                f"offset={offset} length={length} file={self._meta.length}"
+            )
+        out = bytearray()
+        remaining = length
+        pos = offset
+        for block in self._meta.blocks:
+            if remaining == 0:
+                break
+            if pos >= block.length:
+                pos -= block.length
+                continue
+            take = min(block.length - pos, remaining)
+            out.extend(self._read_from_block(block, pos, take))
+            remaining -= take
+            pos = 0
+        return bytes(out)
+
+    def read_all(self) -> bytes:
+        """Read the whole file sequentially."""
+        return self.read(0, self._meta.length)
+
+    def _read_from_block(self, block: BlockInfo, offset: int, length: int) -> bytes:
+        node = self._pick_replica(block)
+        payload, cost = node.read_replica(block.block_id, offset, length)
+        if node.machine is not self._reader:
+            # Remote read: the reader waits for the remote disk + transfer.
+            self._reader.clock.advance(
+                cost + self._dfs.network.transfer_cost(length)
+            )
+            self._reader.counters.add("net.bytes_received", length)
+        else:
+            self._reader.clock.advance(self._dfs.network.local_latency)
+        return payload
+
+    def _pick_replica(self, block: BlockInfo) -> DataNode:
+        live = [
+            self._dfs.datanodes[name]
+            for name in block.locations
+            if self._dfs.datanodes[name].alive
+        ]
+        if not live:
+            raise DataNodeDownError(
+                f"all replicas of block {block.block_id} are down"
+            )
+        for node in live:
+            if node.machine is self._reader:
+                return node
+        for node in live:
+            if node.machine.rack == self._reader.rack:
+                return node
+        return live[0]

@@ -1,0 +1,161 @@
+"""Exception hierarchy for the LogBase reproduction.
+
+Every package raises subclasses of :class:`LogBaseError` so callers can
+catch one base type at API boundaries.  Errors are grouped by subsystem:
+storage (DFS), log repository, index, coordination, transactions, and
+cluster management.
+"""
+
+from __future__ import annotations
+
+
+class LogBaseError(Exception):
+    """Base class for every error raised by this library."""
+
+
+# ---------------------------------------------------------------------------
+# Distributed file system
+# ---------------------------------------------------------------------------
+
+class DFSError(LogBaseError):
+    """Base class for distributed-file-system failures."""
+
+
+class FileNotFoundInDFS(DFSError):
+    """The requested path does not exist in the namenode's namespace."""
+
+
+class FileAlreadyExists(DFSError):
+    """Attempted to create a path that already exists."""
+
+
+class FileClosedError(DFSError):
+    """Attempted to write to a file handle that has been closed."""
+
+
+class ReplicationError(DFSError):
+    """Not enough live datanodes to satisfy the replication factor."""
+
+
+class BlockCorruptionError(DFSError):
+    """A block's checksum did not match its stored payload."""
+
+
+class DataNodeDownError(DFSError):
+    """The datanode addressed by a read or write is not alive."""
+
+
+# ---------------------------------------------------------------------------
+# Log repository
+# ---------------------------------------------------------------------------
+
+class LogError(LogBaseError):
+    """Base class for log-repository failures."""
+
+
+class CorruptLogRecord(LogError):
+    """A log record failed checksum or framing validation while decoding."""
+
+
+class InvalidLogPointer(LogError):
+    """A log pointer addressed a segment or offset that does not exist."""
+
+
+# ---------------------------------------------------------------------------
+# Index
+# ---------------------------------------------------------------------------
+
+class IndexError_(LogBaseError):
+    """Base class for index failures (named with a trailing underscore to
+    avoid shadowing the builtin :class:`IndexError`)."""
+
+
+class IndexCapacityError(IndexError_):
+    """The in-memory index exceeded its configured memory budget."""
+
+
+# ---------------------------------------------------------------------------
+# Coordination service
+# ---------------------------------------------------------------------------
+
+class CoordinationError(LogBaseError):
+    """Base class for coordination-service failures."""
+
+
+class NodeExistsError(CoordinationError):
+    """Attempted to create a znode path that already exists."""
+
+
+class NoNodeError(CoordinationError):
+    """The addressed znode path does not exist."""
+
+
+class NotEmptyError(CoordinationError):
+    """Attempted to delete a znode that still has children."""
+
+
+class SessionExpiredError(CoordinationError):
+    """The client session backing an ephemeral node has expired."""
+
+
+class LockError(CoordinationError):
+    """A distributed lock operation failed (e.g. releasing a lock that the
+    caller does not hold)."""
+
+
+# ---------------------------------------------------------------------------
+# Transactions
+# ---------------------------------------------------------------------------
+
+class TransactionError(LogBaseError):
+    """Base class for transaction failures."""
+
+
+class TransactionAborted(TransactionError):
+    """The transaction was aborted (validation conflict or explicit abort).
+
+    Attributes:
+        reason: human-readable explanation of the abort.
+    """
+
+    def __init__(self, reason: str = "aborted"):
+        super().__init__(reason)
+        self.reason = reason
+
+
+class ValidationConflict(TransactionAborted):
+    """MVOCC validation detected a write-write conflict with a concurrently
+    committed transaction (first-committer-wins)."""
+
+
+class TransactionStateError(TransactionError):
+    """An operation was attempted in an illegal transaction state, e.g.
+    reading after commit."""
+
+
+# ---------------------------------------------------------------------------
+# Cluster / tablet management
+# ---------------------------------------------------------------------------
+
+class ClusterError(LogBaseError):
+    """Base class for cluster-management failures."""
+
+
+class TabletNotFound(ClusterError):
+    """No tablet covers the requested key for the requested table."""
+
+
+class TableNotFound(ClusterError):
+    """The requested table does not exist in the catalog."""
+
+
+class TableAlreadyExists(ClusterError):
+    """Attempted to create a table that already exists."""
+
+
+class ServerDownError(ClusterError):
+    """The tablet server addressed by a request has failed."""
+
+
+class RecoveryError(ClusterError):
+    """Recovery of a failed tablet server could not complete."""

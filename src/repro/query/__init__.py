@@ -1,0 +1,29 @@
+"""Query processing and secondary indexes — the paper's stated future work.
+
+§5: "Our future works include the design and implementation of efficient
+secondary indexes and query processing for LogBase."  This package
+implements both on top of the core system:
+
+* :mod:`repro.query.secondary` — in-memory secondary indexes over column
+  values, maintained on the write path and rebuilt on recovery;
+* :mod:`repro.query.expressions` — predicate expressions over columns;
+* :mod:`repro.query.engine` — a planner/executor that picks primary-key
+  lookups, secondary-index lookups, range scans or filtered full scans,
+  with projection and simple aggregation.
+"""
+
+from repro.query.secondary import SecondaryIndex, SecondaryIndexManager
+from repro.query.expressions import Eq, Range, And, Predicate
+from repro.query.engine import Query, QueryEngine, QueryPlan
+
+__all__ = [
+    "SecondaryIndex",
+    "SecondaryIndexManager",
+    "Eq",
+    "Range",
+    "And",
+    "Predicate",
+    "Query",
+    "QueryEngine",
+    "QueryPlan",
+]

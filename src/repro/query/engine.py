@@ -1,0 +1,337 @@
+"""Query planner and executor over a LogBase cluster.
+
+Access-path selection, cheapest first:
+
+1. **primary lookup** — an Eq on the primary key column;
+2. **secondary lookup** — an Eq/Range on a column with a secondary index;
+3. **primary range scan** — a Range on the primary key column;
+4. **full scan** — everything else (filtered table scan).
+
+The executor reads only the column groups a query needs (projection +
+predicate columns), merging groups per primary key when more than one is
+touched — the §3.2 tuple-reconstruction path.  Residual predicates are
+applied to the merged row.  Simple aggregation (count/sum/min/max with
+optional group-by) runs over the row stream.
+
+Usage::
+
+    engine = QueryEngine(db)
+    rows = (engine.query("users")
+                  .select("name", "email")
+                  .where(Eq("country", b"SG"))
+                  .run())
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.core.schema import decode_group_value
+from repro.query.expressions import And, Eq, Predicate, Range, conjuncts
+
+Row = dict[str, bytes]
+
+
+@dataclass(frozen=True)
+class QueryPlan:
+    """The chosen access path (returned by :meth:`Query.explain`)."""
+
+    access_path: str             # primary-lookup | secondary-lookup |
+                                 # primary-range | full-scan
+    driving_column: str | None   # column the access path uses
+    groups_read: tuple[str, ...]  # column groups fetched
+    residual: int                # predicates applied after the access path
+
+    def describe(self) -> str:
+        driving = f" on {self.driving_column}" if self.driving_column else ""
+        return (
+            f"{self.access_path}{driving}, groups={list(self.groups_read)}, "
+            f"{self.residual} residual predicate(s)"
+        )
+
+
+@dataclass
+class Query:
+    """A buildable query against one table."""
+
+    engine: "QueryEngine"
+    table: str
+    projection: tuple[str, ...] = ()
+    predicate: Predicate | None = None
+    snapshot: int | None = None
+    order_column: str | None = None
+    descending: bool = False
+    max_rows: int | None = None
+
+    def select(self, *columns: str) -> "Query":
+        """Project to ``columns`` (default: every column)."""
+        self.projection = columns
+        return self
+
+    def where(self, predicate: Predicate) -> "Query":
+        """Filter rows (And with any existing predicate)."""
+        if self.predicate is None:
+            self.predicate = predicate
+        else:
+            self.predicate = And(self.predicate, predicate)
+        return self
+
+    def as_of(self, timestamp: int) -> "Query":
+        """Read from the snapshot at ``timestamp`` (multiversion access).
+
+        Note: secondary indexes are current-state, so snapshot queries
+        never use them (the planner falls back to scans)."""
+        self.snapshot = timestamp
+        return self
+
+    def order_by(self, column: str, *, descending: bool = False) -> "Query":
+        """Sort results by a column's value (bytes ordering); the default
+        result order is primary-key order."""
+        self.order_column = column
+        self.descending = descending
+        return self
+
+    def limit(self, n: int) -> "Query":
+        """Return at most ``n`` rows (applied after ordering)."""
+        if n < 0:
+            raise ValueError("limit must be non-negative")
+        self.max_rows = n
+        return self
+
+    def explain(self) -> QueryPlan:
+        """The plan that :meth:`run` would execute."""
+        return self.engine.plan(self)
+
+    def run(self) -> list[tuple[bytes, Row]]:
+        """Execute; returns (primary key, projected row) in key order."""
+        return self.engine.execute(self)
+
+    def count(self) -> int:
+        """Number of matching rows."""
+        return len(self.engine.execute(self))
+
+    def aggregate(
+        self, column: str, *, group_by: str | None = None
+    ) -> dict[str, dict[bytes, float] | float]:
+        """Sum/min/max/count over an integer-encoded column, optionally
+        grouped by another column's value."""
+        return self.engine.aggregate(self, column, group_by=group_by)
+
+
+class QueryEngine:
+    """Plans and executes queries over a :class:`~repro.core.database.LogBase`."""
+
+    def __init__(self, db) -> None:
+        self._db = db
+        self._master = db.cluster.master
+
+    def query(self, table: str) -> Query:
+        """Start building a query on ``table``."""
+        self._master.schema(table)  # validates the table exists
+        return Query(self, table)
+
+    # -- secondary index DDL -------------------------------------------------------
+
+    def create_secondary_index(self, table: str, column: str) -> None:
+        """Create (and backfill) a secondary index on every server that
+        hosts tablets of ``table``."""
+        schema = self._master.schema(table)
+        group = schema.group_of_column(column).name
+        for server_name in {name for name, _ in self._master.locations(table)}:
+            self._master.server(server_name).create_secondary_index(
+                table, group, column
+            )
+
+    def has_secondary_index(self, table: str, column: str) -> bool:
+        """Whether a secondary index exists on ``table.column``."""
+        for server_name, _ in self._master.locations(table):
+            if self._master.server(server_name).secondary.get(table, column) is not None:
+                return True
+        return False
+
+    # -- planning -------------------------------------------------------------------
+
+    def plan(self, query: Query) -> QueryPlan:
+        schema = self._master.schema(query.table)
+        parts = conjuncts(query.predicate)
+        needed = set(query.projection) or {
+            column for group in schema.groups for column in group.columns
+        }
+        needed |= {column for part in parts for column in part.columns()}
+        if query.order_column is not None:
+            needed.add(query.order_column)
+        needed.discard(schema.key_column)
+        groups = tuple(g.name for g in schema.groups_for_columns(needed)) or (
+            schema.group_names[0],
+        )
+
+        key_eq = next(
+            (p for p in parts if isinstance(p, Eq) and p.column == schema.key_column),
+            None,
+        )
+        if key_eq is not None:
+            return QueryPlan("primary-lookup", schema.key_column, groups, len(parts) - 1)
+        if query.snapshot is None:  # secondary indexes are current-state only
+            for part in parts:
+                if isinstance(part, (Eq, Range)) and self.has_secondary_index(
+                    query.table, part.column
+                ):
+                    return QueryPlan(
+                        "secondary-lookup", part.column, groups, len(parts) - 1
+                    )
+        key_range = next(
+            (p for p in parts if isinstance(p, Range) and p.column == schema.key_column),
+            None,
+        )
+        if key_range is not None:
+            return QueryPlan("primary-range", schema.key_column, groups, len(parts) - 1)
+        return QueryPlan("full-scan", None, groups, len(parts))
+
+    # -- execution -------------------------------------------------------------------
+
+    def execute(self, query: Query) -> list[tuple[bytes, Row]]:
+        plan = self.plan(query)
+        schema = self._master.schema(query.table)
+        parts = conjuncts(query.predicate)
+
+        if plan.access_path == "primary-lookup":
+            key_eq = next(
+                p for p in parts if isinstance(p, Eq) and p.column == schema.key_column
+            )
+            candidates: Iterator[bytes] = iter([key_eq.value])
+        elif plan.access_path == "secondary-lookup":
+            candidates = iter(sorted(self._secondary_candidates(query, plan, parts)))
+        elif plan.access_path == "primary-range":
+            key_range = next(
+                p
+                for p in parts
+                if isinstance(p, Range) and p.column == schema.key_column
+            )
+            candidates = self._range_keys(query, plan, key_range.low, key_range.high)
+        else:
+            candidates = self._range_keys(query, plan, b"", b"\xff" * 64)
+
+        results: list[tuple[bytes, Row]] = []
+        order_rows: list[Row] = []
+        for key in candidates:
+            row = self._fetch_row(query, plan, key)
+            if row is None:
+                continue
+            row[schema.key_column] = key
+            if all(part.matches(row) for part in parts):
+                results.append((key, self._project(query, row)))
+                order_rows.append(row)
+            # Without ordering, results stream in key order, so a limit
+            # can stop candidate fetching early.
+            if (
+                query.order_column is None
+                and query.max_rows is not None
+                and len(results) >= query.max_rows
+            ):
+                break
+        if query.order_column is not None:
+            paired = sorted(
+                zip(results, order_rows),
+                key=lambda pair: pair[1].get(query.order_column, b""),
+                reverse=query.descending,
+            )
+            results = [result for result, _ in paired]
+        if query.max_rows is not None:
+            results = results[: query.max_rows]
+        return results
+
+    def _secondary_candidates(
+        self, query: Query, plan: QueryPlan, parts: list[Predicate]
+    ) -> set[bytes]:
+        driving = next(p for p in parts if p.columns() == {plan.driving_column})
+        keys: set[bytes] = set()
+        for server_name in {name for name, _ in self._master.locations(query.table)}:
+            index = self._master.server(server_name).secondary.get(
+                query.table, plan.driving_column
+            )
+            if index is None:
+                continue
+            if isinstance(driving, Eq):
+                keys.update(index.lookup_equal(driving.value))
+            else:
+                keys.update(
+                    key for _, key in index.lookup_range(driving.low, driving.high)
+                )
+        return keys
+
+    def _range_keys(
+        self, query: Query, plan: QueryPlan, low: bytes, high: bytes
+    ) -> Iterator[bytes]:
+        """Distinct primary keys in [low, high), from the first group read.
+
+        A server's range_scan covers every tablet it hosts, so each
+        *server* is visited exactly once regardless of tablet count."""
+        first_group = plan.groups_read[0]
+        seen: set[bytes] = set()
+        visited: set[str] = set()
+        for server_name, tablet in self._master.locations(query.table):
+            if server_name in visited:
+                continue
+            if high <= tablet.key_range.start:
+                continue
+            if tablet.key_range.end is not None and tablet.key_range.end <= low:
+                continue
+            visited.add(server_name)
+            server = self._master.server(server_name)
+            for key, _, _ in server.range_scan(
+                query.table, first_group, low, high, as_of=query.snapshot
+            ):
+                if key not in seen:
+                    seen.add(key)
+                    yield key
+
+    def _fetch_row(self, query: Query, plan: QueryPlan, key: bytes) -> Row | None:
+        server_name, _ = self._master.locate(query.table, key)
+        server = self._master.server(server_name)
+        row: Row = {}
+        found = False
+        for group in plan.groups_read:
+            result = server.read(query.table, key, group, as_of=query.snapshot)
+            if result is None:
+                continue
+            found = True
+            try:
+                row.update(decode_group_value(result[1]))
+            except (ValueError, IndexError, UnicodeDecodeError):
+                continue
+        return row if found else None
+
+    def _project(self, query: Query, row: Row) -> Row:
+        if not query.projection:
+            return dict(row)
+        return {column: row[column] for column in query.projection if column in row}
+
+    # -- aggregation -------------------------------------------------------------------
+
+    def aggregate(
+        self, query: Query, column: str, *, group_by: str | None = None
+    ) -> dict:
+        """count/sum/min/max over integer-encoded ``column`` values."""
+        wanted = [column] + ([group_by] if group_by else [])
+        inner = Query(
+            self, query.table, tuple(wanted), query.predicate, query.snapshot
+        )
+        inner.max_rows = query.max_rows
+        rows = self.execute(inner)
+        if group_by is None:
+            values = [int(row[column]) for _, row in rows if column in row]
+            return {
+                "count": len(values),
+                "sum": float(sum(values)),
+                "min": float(min(values)) if values else 0.0,
+                "max": float(max(values)) if values else 0.0,
+            }
+        grouped: dict[bytes, list[int]] = {}
+        for _, row in rows:
+            if column in row and group_by in row:
+                grouped.setdefault(row[group_by], []).append(int(row[column]))
+        return {
+            "count": {k: float(len(v)) for k, v in grouped.items()},
+            "sum": {k: float(sum(v)) for k, v in grouped.items()},
+        }

@@ -1,0 +1,90 @@
+"""Predicate expressions for the query engine.
+
+Predicates evaluate over a decoded row (``{column: value bytes}``).
+Values compare as bytes — the convention throughout this reproduction
+(zero-padded numerics sort correctly).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+Row = dict[str, bytes]
+
+
+class Predicate(ABC):
+    """A boolean condition over one row."""
+
+    @abstractmethod
+    def matches(self, row: Row) -> bool:
+        """Whether ``row`` satisfies the predicate."""
+
+    @abstractmethod
+    def columns(self) -> set[str]:
+        """Columns the predicate reads."""
+
+
+@dataclass(frozen=True)
+class Eq(Predicate):
+    """``column == value``."""
+
+    column: str
+    value: bytes
+
+    def matches(self, row: Row) -> bool:
+        return row.get(self.column) == self.value
+
+    def columns(self) -> set[str]:
+        return {self.column}
+
+
+@dataclass(frozen=True)
+class Range(Predicate):
+    """``low <= column < high`` (bytes ordering)."""
+
+    column: str
+    low: bytes
+    high: bytes
+
+    def matches(self, row: Row) -> bool:
+        value = row.get(self.column)
+        return value is not None and self.low <= value < self.high
+
+    def columns(self) -> set[str]:
+        return {self.column}
+
+
+@dataclass(frozen=True)
+class And(Predicate):
+    """Conjunction of predicates."""
+
+    parts: tuple[Predicate, ...]
+
+    def __init__(self, *parts: Predicate) -> None:
+        object.__setattr__(self, "parts", tuple(parts))
+
+    def matches(self, row: Row) -> bool:
+        return all(part.matches(row) for part in self.parts)
+
+    def columns(self) -> set[str]:
+        return {column for part in self.parts for column in part.columns()}
+
+    def flattened(self) -> list[Predicate]:
+        """The conjunct list with nested Ands unnested."""
+        out: list[Predicate] = []
+        for part in self.parts:
+            if isinstance(part, And):
+                out.extend(part.flattened())
+            else:
+                out.append(part)
+        return out
+
+
+def conjuncts(predicate: Predicate | None) -> list[Predicate]:
+    """Normalize a predicate into a flat conjunct list ([] for None)."""
+    if predicate is None:
+        return []
+    if isinstance(predicate, And):
+        return predicate.flattened()
+    return [predicate]

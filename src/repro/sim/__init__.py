@@ -1,0 +1,24 @@
+"""Deterministic device simulation: clocks, disk and network cost models.
+
+The paper's evaluation runs on physical disks and a gigabit network.  This
+package replaces those devices with deterministic cost models so that the
+I/O *shape* of each experiment (sequential vs. random access, single vs.
+double writes, replication fan-out) is reproduced exactly and repeatably.
+Every node in the simulated cluster owns a :class:`SimClock`; device
+operations charge simulated seconds to it.
+"""
+
+from repro.sim.clock import SimClock
+from repro.sim.disk import DiskModel, SimDisk
+from repro.sim.network import NetworkModel
+from repro.sim.metrics import Counters
+from repro.sim.failure import FailureInjector
+
+__all__ = [
+    "SimClock",
+    "DiskModel",
+    "SimDisk",
+    "NetworkModel",
+    "Counters",
+    "FailureInjector",
+]

@@ -1,0 +1,45 @@
+"""Failure injection for simulated nodes.
+
+Anything with an ``alive`` attribute and a ``fail()`` method can register
+with an injector; tests and the recovery benchmarks use it to kill nodes
+deterministically at chosen points.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol
+
+
+class Failable(Protocol):
+    """Minimal interface a node must expose to be failure-injectable."""
+
+    alive: bool
+
+    def fail(self) -> None:
+        """Transition the node to the failed state."""
+
+
+class FailureInjector:
+    """Registry of failable nodes with kill/restore bookkeeping."""
+
+    def __init__(self) -> None:
+        self._nodes: dict[str, Failable] = {}
+        self.killed: list[str] = []
+
+    def register(self, name: str, node: Failable) -> None:
+        """Track ``node`` under ``name`` for later failure injection."""
+        self._nodes[name] = node
+
+    def kill(self, name: str) -> None:
+        """Fail the named node.
+
+        Raises:
+            KeyError: if no node with that name is registered.
+        """
+        node = self._nodes[name]
+        node.fail()
+        self.killed.append(name)
+
+    def alive_nodes(self) -> list[str]:
+        """Names of registered nodes that are still alive."""
+        return [name for name, node in self._nodes.items() if node.alive]

@@ -1,0 +1,40 @@
+"""Lightweight named counters attached to simulated devices and servers."""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Iterator
+
+
+class Counters:
+    """A bag of named integer/float counters.
+
+    Examples of counters recorded by this library: ``disk.seeks``,
+    ``disk.bytes_written``, ``net.rpcs``, ``cache.hits``, ``txn.aborts``.
+    """
+
+    def __init__(self) -> None:
+        self._values: dict[str, float] = defaultdict(float)
+
+    def add(self, name: str, amount: float = 1.0) -> None:
+        """Increment counter ``name`` by ``amount``."""
+        self._values[name] += amount
+
+    def get(self, name: str) -> float:
+        """Current value of ``name`` (0 if never incremented)."""
+        return self._values.get(name, 0.0)
+
+    def reset(self) -> None:
+        """Zero every counter."""
+        self._values.clear()
+
+    def snapshot(self) -> dict[str, float]:
+        """A copy of all counters, for reporting."""
+        return dict(self._values)
+
+    def __iter__(self) -> Iterator[tuple[str, float]]:
+        return iter(sorted(self._values.items()))
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{k}={v:g}" for k, v in self)
+        return f"Counters({inner})"

@@ -1,0 +1,40 @@
+"""Network cost model for the simulated cluster.
+
+Defaults approximate the paper's 1 gigabit Ethernet: 125 MB/s of bandwidth
+and 200 microseconds of per-message latency.  Transfers between two
+processes on the *same* node (e.g. a tablet server writing to the datanode
+co-located with it, which is how both HBase and LogBase deploy) are charged
+only local loopback latency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class NetworkModel:
+    """Cost parameters for the cluster interconnect.
+
+    Attributes:
+        latency: one-way message latency in seconds.
+        bandwidth: link bandwidth in bytes/second.
+        local_latency: latency for same-node loopback messages.
+    """
+
+    latency: float = 0.0002
+    bandwidth: float = 125e6
+    local_latency: float = 0.00002
+
+    def transfer_cost(self, nbytes: int, *, local: bool = False) -> float:
+        """Seconds to move ``nbytes`` in one message."""
+        lat = self.local_latency if local else self.latency
+        if local:
+            return lat  # loopback copies are effectively memory-speed
+        return lat + nbytes / self.bandwidth
+
+    def rpc_cost(self, request_bytes: int, response_bytes: int, *, local: bool = False) -> float:
+        """Seconds for a request/response round trip."""
+        return self.transfer_cost(request_bytes, local=local) + self.transfer_cost(
+            response_bytes, local=local
+        )

@@ -1,0 +1,113 @@
+"""Transaction handles: read/write sets and lifecycle state.
+
+A transaction's boundary "starts with a Begin command and ends with a
+Commit or Abort command" (§3.3).  The handle buffers writes locally
+(MVOCC defers all modifications to commit time) and records, for every
+record it reads or intends to write, the version timestamp it observed —
+the input to commit-time validation.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.core.schema import decode_group_value, encode_group_value
+from repro.errors import TransactionStateError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.txn.mvocc import TransactionManager
+
+Slot = tuple[str, bytes, str]  # (table, key, group)
+
+
+class TxnStatus(enum.Enum):
+    """Lifecycle states of a transaction."""
+
+    ACTIVE = "active"
+    COMMITTED = "committed"
+    ABORTED = "aborted"
+
+
+@dataclass
+class Transaction:
+    """One transaction: snapshot timestamp plus read/write sets.
+
+    Attributes:
+        txn_id: unique id (also written into log records).
+        read_ts: snapshot timestamp; versions with timestamp < read_ts
+            are visible to this transaction's reads.
+        read_versions: version timestamp observed per slot (0 = absent);
+            validation compares these against current versions.
+        writes: buffered writes; None value means delete.
+    """
+
+    txn_id: int
+    read_ts: int
+    manager: "TransactionManager"
+    status: TxnStatus = TxnStatus.ACTIVE
+    read_versions: dict[Slot, int] = field(default_factory=dict)
+    writes: dict[Slot, bytes | None] = field(default_factory=dict)
+    commit_ts: int | None = None
+    restarts: int = 0
+
+    def _require_active(self) -> None:
+        if self.status is not TxnStatus.ACTIVE:
+            raise TransactionStateError(
+                f"transaction {self.txn_id} is {self.status.value}"
+            )
+
+    @property
+    def is_read_only(self) -> bool:
+        """Whether the transaction has buffered no writes."""
+        return not self.writes
+
+    def read(self, table: str, key: bytes, group: str) -> dict[str, bytes] | None:
+        """Snapshot read of a column group, decoded to column values
+        (sees the transaction's own uncommitted writes first)."""
+        raw = self.read_raw(table, key, group)
+        return None if raw is None else decode_group_value(raw)
+
+    def read_raw(self, table: str, key: bytes, group: str) -> bytes | None:
+        """Snapshot read returning the opaque group payload."""
+        self._require_active()
+        return self.manager.read(self, table, key, group)
+
+    def scan(
+        self, table: str, group: str, start_key: bytes, end_key: bytes
+    ) -> list[tuple[bytes, bytes]]:
+        """Snapshot range scan [start_key, end_key): committed versions as
+        of this transaction's snapshot, overlaid with its own buffered
+        writes.  Returns (key, raw value) pairs in key order."""
+        self._require_active()
+        return self.manager.scan(self, table, group, start_key, end_key)
+
+    def write(self, table: str, key: bytes, group: str, columns: dict[str, bytes]) -> None:
+        """Buffer an insert/update of column values."""
+        self.write_raw(table, key, group, encode_group_value(columns))
+
+    def write_raw(self, table: str, key: bytes, group: str, value: bytes) -> None:
+        """Buffer an insert/update with an opaque group payload."""
+        self._require_active()
+        self.manager.stage_write(self, table, key, group, value)
+
+    def delete(self, table: str, key: bytes, group: str) -> None:
+        """Buffer a delete."""
+        self._require_active()
+        self.manager.stage_write(self, table, key, group, None)
+
+    def commit(self) -> int:
+        """Validate and commit; returns the commit timestamp.
+
+        Raises:
+            ValidationConflict: on first-committer-wins conflict.
+            TransactionAborted: on lock conflict with a concurrent commit.
+        """
+        self._require_active()
+        return self.manager.commit(self)
+
+    def abort(self) -> None:
+        """Abort; buffered writes are discarded."""
+        self._require_active()
+        self.manager.abort(self)

@@ -1,0 +1,70 @@
+"""Two-phase commit for the rare multi-server transaction (§3.7.2).
+
+"Since the number of distributed transactions has been reduced at most by
+the use of smart data partitioning, the costly two-phase-commit protocol
+only happens in the worst case."  Phase one durably appends each
+participant's writes (prepare); phase two appends the commit record on
+every participant and applies the writes to the indexes.  If any prepare
+fails, abort records are appended everywhere — prepared writes without a
+commit record are invisible and vanish at the next compaction.
+"""
+
+from __future__ import annotations
+
+from repro.core.master import Master
+from repro.errors import LogBaseError, TransactionAborted
+from repro.wal.record import LogPointer, LogRecord, abort_record, commit_record
+
+_PREPARE_RPC = 0.0004  # two message latencies per phase per participant
+
+
+class TwoPhaseCoordinator:
+    """Coordinates one distributed commit across tablet servers."""
+
+    def __init__(self, master: Master) -> None:
+        self._master = master
+
+    def execute(
+        self,
+        txn_id: int,
+        commit_ts: int,
+        by_server: dict[str, list[LogRecord]],
+    ) -> None:
+        """Run both phases.
+
+        Raises:
+            TransactionAborted: if any participant fails to prepare; all
+                participants then log an abort record.
+        """
+        prepared: dict[str, list[tuple[LogPointer, LogRecord]]] = {}
+        # -- phase 1: prepare (durable append of the writes) ---------------
+        for server_name, records in sorted(by_server.items()):
+            server = self._master.server(server_name)
+            server.machine.clock.advance(_PREPARE_RPC)
+            try:
+                prepared[server_name] = server.append_transactional(records)
+            except LogBaseError as exc:
+                self._abort_prepared(txn_id, prepared)
+                raise TransactionAborted(
+                    f"prepare failed on {server_name}: {exc}"
+                ) from exc
+        # -- phase 2: commit (commit record everywhere, then apply) --------
+        for server_name, appended in prepared.items():
+            server = self._master.server(server_name)
+            server.machine.clock.advance(_PREPARE_RPC)
+            commit_appended = server.append_transactional(
+                [commit_record(txn_id, commit_ts)]
+            )
+            server.apply_committed(appended + commit_appended)
+
+    def _abort_prepared(
+        self, txn_id: int, prepared: dict[str, list[tuple[LogPointer, LogRecord]]]
+    ) -> None:
+        for server_name in prepared:
+            server = self._master.server(server_name)
+            try:
+                server.append_transactional([abort_record(txn_id)])
+            except LogBaseError:
+                # The participant is down; its uncommitted writes are
+                # already invisible and compaction will discard them.
+                continue

@@ -1,0 +1,17 @@
+"""Shared low-level utilities: varint codec, checksums, caches, filters."""
+
+from repro.util.varint import encode_uvarint, decode_uvarint
+from repro.util.crc import crc32c
+from repro.util.lru import LRUCache, ReplacementPolicy, LRUPolicy, FIFOPolicy
+from repro.util.bloom import BloomFilter
+
+__all__ = [
+    "encode_uvarint",
+    "decode_uvarint",
+    "crc32c",
+    "LRUCache",
+    "ReplacementPolicy",
+    "LRUPolicy",
+    "FIFOPolicy",
+    "BloomFilter",
+]

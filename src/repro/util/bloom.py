@@ -1,0 +1,95 @@
+"""A Bloom filter over byte-string keys.
+
+Used by SSTables in the HBase baseline and by LSM-tree runs (as in bLSM and
+LevelDB) to skip disk probes for absent keys.  Hashing uses the standard
+double-hashing scheme g_i(x) = h1(x) + i * h2(x) over two independent
+64-bit FNV-1a variants, which matches how LevelDB derives its probe set.
+"""
+
+from __future__ import annotations
+
+import math
+
+_FNV_OFFSET = 0xCBF29CE484222325
+_FNV_PRIME = 0x100000001B3
+_MASK64 = (1 << 64) - 1
+
+
+def _fnv1a(data: bytes, seed: int) -> int:
+    h = (_FNV_OFFSET ^ seed) & _MASK64
+    for byte in data:
+        h ^= byte
+        h = (h * _FNV_PRIME) & _MASK64
+    return h
+
+
+class BloomFilter:
+    """Fixed-size Bloom filter sized for a target false-positive rate.
+
+    Args:
+        expected_items: number of keys the filter is sized for.
+        fp_rate: target false-positive probability at that load.
+    """
+
+    def __init__(self, expected_items: int, fp_rate: float = 0.01) -> None:
+        if expected_items <= 0:
+            raise ValueError("expected_items must be positive")
+        if not 0.0 < fp_rate < 1.0:
+            raise ValueError("fp_rate must be in (0, 1)")
+        ln2 = math.log(2)
+        bits = max(8, int(-expected_items * math.log(fp_rate) / (ln2 * ln2)))
+        # Round up to a whole byte so to_bytes/from_bytes keep the same
+        # modulus (probe positions depend on num_bits).
+        self._num_bits = (bits + 7) // 8 * 8
+        self._num_hashes = max(1, round(self._num_bits / expected_items * ln2))
+        self._bits = bytearray((self._num_bits + 7) // 8)
+        self._count = 0
+
+    @property
+    def num_bits(self) -> int:
+        """Size of the bit array."""
+        return self._num_bits
+
+    @property
+    def num_hashes(self) -> int:
+        """Number of hash probes per key."""
+        return self._num_hashes
+
+    @property
+    def size_bytes(self) -> int:
+        """Storage footprint of the bit array."""
+        return len(self._bits)
+
+    def __len__(self) -> int:
+        return self._count
+
+    def _probes(self, key: bytes):
+        h1 = _fnv1a(key, 0x9E3779B97F4A7C15)
+        h2 = _fnv1a(key, 0xC2B2AE3D27D4EB4F) | 1
+        for i in range(self._num_hashes):
+            yield ((h1 + i * h2) & _MASK64) % self._num_bits
+
+    def add(self, key: bytes) -> None:
+        """Insert ``key`` into the filter."""
+        for bit in self._probes(key):
+            self._bits[bit >> 3] |= 1 << (bit & 7)
+        self._count += 1
+
+    def might_contain(self, key: bytes) -> bool:
+        """Return False if ``key`` is definitely absent, True if it may be
+        present (subject to the false-positive rate)."""
+        return all(self._bits[bit >> 3] & (1 << (bit & 7)) for bit in self._probes(key))
+
+    def to_bytes(self) -> bytes:
+        """Serialize the bit array (used when persisting SSTable metadata)."""
+        return bytes(self._bits)
+
+    @classmethod
+    def from_bytes(cls, payload: bytes, num_hashes: int, count: int = 0) -> "BloomFilter":
+        """Rebuild a filter from :meth:`to_bytes` output."""
+        filt = cls.__new__(cls)
+        filt._bits = bytearray(payload)
+        filt._num_bits = len(payload) * 8
+        filt._num_hashes = num_hashes
+        filt._count = count
+        return filt

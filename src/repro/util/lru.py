@@ -1,0 +1,175 @@
+"""Bounded caches with pluggable replacement policies.
+
+Section 3.6.2 of the paper describes the read buffer's replacement strategy
+as "an abstracted interface so that users can plug in new strategies".
+:class:`ReplacementPolicy` is that interface; :class:`LRUPolicy` is the
+default the paper uses and :class:`FIFOPolicy` is a second implementation
+used by the ablation benchmarks.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections import OrderedDict
+from typing import Generic, Hashable, Iterator, TypeVar
+
+K = TypeVar("K", bound=Hashable)
+V = TypeVar("V")
+
+
+class ReplacementPolicy(ABC, Generic[K]):
+    """Decides which key to evict when a bounded cache is full."""
+
+    @abstractmethod
+    def on_insert(self, key: K) -> None:
+        """Record that ``key`` was inserted into the cache."""
+
+    @abstractmethod
+    def on_access(self, key: K) -> None:
+        """Record that ``key`` was read from the cache."""
+
+    @abstractmethod
+    def on_remove(self, key: K) -> None:
+        """Record that ``key`` was explicitly removed."""
+
+    @abstractmethod
+    def victim(self) -> K:
+        """Return the key to evict next.  The cache removes it and then
+        calls :meth:`on_remove`."""
+
+
+class LRUPolicy(ReplacementPolicy[K]):
+    """Evict the least recently used key."""
+
+    def __init__(self) -> None:
+        self._order: OrderedDict[K, None] = OrderedDict()
+
+    def on_insert(self, key: K) -> None:
+        self._order[key] = None
+        self._order.move_to_end(key)
+
+    def on_access(self, key: K) -> None:
+        self._order.move_to_end(key)
+
+    def on_remove(self, key: K) -> None:
+        self._order.pop(key, None)
+
+    def victim(self) -> K:
+        return next(iter(self._order))
+
+
+class FIFOPolicy(ReplacementPolicy[K]):
+    """Evict the oldest-inserted key regardless of access recency."""
+
+    def __init__(self) -> None:
+        self._order: OrderedDict[K, None] = OrderedDict()
+
+    def on_insert(self, key: K) -> None:
+        if key not in self._order:
+            self._order[key] = None
+
+    def on_access(self, key: K) -> None:
+        pass
+
+    def on_remove(self, key: K) -> None:
+        self._order.pop(key, None)
+
+    def victim(self) -> K:
+        return next(iter(self._order))
+
+
+class LRUCache(Generic[K, V]):
+    """A bounded mapping that evicts via a :class:`ReplacementPolicy`.
+
+    Capacity may be expressed either in entry count (``capacity``) or in
+    bytes (``byte_capacity`` with a ``sizer`` callable); the read buffer
+    uses byte capacity so that 1 KB records and small records are charged
+    fairly.
+    """
+
+    def __init__(
+        self,
+        capacity: int | None = None,
+        *,
+        byte_capacity: int | None = None,
+        sizer=None,
+        policy: ReplacementPolicy[K] | None = None,
+    ) -> None:
+        if capacity is None and byte_capacity is None:
+            raise ValueError("one of capacity or byte_capacity is required")
+        if byte_capacity is not None and sizer is None:
+            raise ValueError("byte_capacity requires a sizer callable")
+        self._capacity = capacity
+        self._byte_capacity = byte_capacity
+        self._sizer = sizer
+        self._policy: ReplacementPolicy[K] = policy if policy is not None else LRUPolicy()
+        self._data: dict[K, V] = {}
+        self._bytes_used = 0
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __contains__(self, key: K) -> bool:
+        return key in self._data
+
+    def __iter__(self) -> Iterator[K]:
+        return iter(self._data)
+
+    @property
+    def bytes_used(self) -> int:
+        """Total size of cached values, per the configured sizer."""
+        return self._bytes_used
+
+    def get(self, key: K, default: V | None = None) -> V | None:
+        """Return the cached value, updating recency; counts hit/miss."""
+        if key in self._data:
+            self.hits += 1
+            self._policy.on_access(key)
+            return self._data[key]
+        self.misses += 1
+        return default
+
+    def peek(self, key: K, default: V | None = None) -> V | None:
+        """Return the cached value without touching recency or counters."""
+        return self._data.get(key, default)
+
+    def put(self, key: K, value: V) -> None:
+        """Insert or replace ``key``; evicts until capacity is respected."""
+        if key in self._data:
+            self._remove(key)
+        self._data[key] = value
+        self._policy.on_insert(key)
+        if self._sizer is not None:
+            self._bytes_used += self._sizer(value)
+        self._evict_to_capacity()
+
+    def remove(self, key: K) -> None:
+        """Remove ``key`` if present."""
+        if key in self._data:
+            self._remove(key)
+
+    def clear(self) -> None:
+        """Drop every entry (counters are preserved)."""
+        for key in list(self._data):
+            self._remove(key)
+
+    def _remove(self, key: K) -> None:
+        value = self._data.pop(key)
+        self._policy.on_remove(key)
+        if self._sizer is not None:
+            self._bytes_used -= self._sizer(value)
+
+    def _over_capacity(self) -> bool:
+        if self._capacity is not None and len(self._data) > self._capacity:
+            return True
+        if self._byte_capacity is not None and self._bytes_used > self._byte_capacity:
+            return True
+        return False
+
+    def _evict_to_capacity(self) -> None:
+        while self._data and self._over_capacity():
+            self._remove(self._policy.victim())
+            self.evictions += 1

@@ -1,0 +1,64 @@
+"""Unsigned variable-length integer codec (LEB128, protobuf-compatible).
+
+Log records, index snapshots and SSTable blocks frame their fields with
+uvarints so that small values (lengths, sequence numbers near a checkpoint)
+cost one byte instead of eight.
+"""
+
+from __future__ import annotations
+
+
+def encode_uvarint(value: int) -> bytes:
+    """Encode a non-negative integer as a LEB128 uvarint.
+
+    Args:
+        value: integer >= 0.
+
+    Returns:
+        The encoded bytes (1 byte per 7 bits of payload).
+
+    Raises:
+        ValueError: if ``value`` is negative.
+    """
+    if value < 0:
+        raise ValueError(f"uvarint cannot encode negative value {value}")
+    out = bytearray()
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            out.append(byte | 0x80)
+        else:
+            out.append(byte)
+            return bytes(out)
+
+
+def decode_uvarint(buf: bytes, offset: int = 0) -> tuple[int, int]:
+    """Decode a LEB128 uvarint from ``buf`` starting at ``offset``.
+
+    Args:
+        buf: source buffer.
+        offset: position of the first byte of the varint.
+
+    Returns:
+        ``(value, next_offset)`` where ``next_offset`` is the position just
+        past the varint.
+
+    Raises:
+        ValueError: if the buffer ends mid-varint or the varint is longer
+            than 10 bytes (would overflow 64 bits of payload).
+    """
+    result = 0
+    shift = 0
+    pos = offset
+    while True:
+        if pos >= len(buf):
+            raise ValueError("truncated uvarint")
+        if shift > 63:
+            raise ValueError("uvarint too long")
+        byte = buf[pos]
+        pos += 1
+        result |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return result, pos
+        shift += 7

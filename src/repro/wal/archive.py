@@ -1,0 +1,118 @@
+"""Archival tier for aged log segments (LHAM-inspired, §2.3).
+
+The paper cites LHAM — "an extension of LSM-tree for hierarchical storage
+systems that store a large number of components ... on archival media".
+LogBase's multiversion history grows without bound when compaction keeps
+every version; this module lets a deployment move *sorted* segments whose
+newest record is older than a cutoff onto a cold-storage tier: separate
+machines with slower, cheaper disks and lower replication.  Reads through
+archived pointers keep working transparently — they just pay cold-tier
+I/O plus a network hop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dfs.filesystem import DFS
+from repro.sim.disk import DiskModel
+from repro.sim.machine import Machine
+from repro.sim.network import NetworkModel
+from repro.wal.record import RecordType
+from repro.wal.repository import LogRepository
+
+#: Archival media: slower seeks and half the bandwidth of the hot tier.
+ARCHIVE_DISK = DiskModel(seek_time=0.016, rotational_latency=0.00834, bandwidth=50e6)
+
+
+class ColdStorage:
+    """A small cluster of archival machines with their own DFS.
+
+    Args:
+        n_nodes: cold machines (archives usually replicate less).
+        replication: replica count on the cold tier (default 2).
+        network: share the cluster's network model so hot<->cold hops are
+            charged consistently.
+    """
+
+    def __init__(
+        self,
+        n_nodes: int = 2,
+        replication: int = 2,
+        network: NetworkModel | None = None,
+    ) -> None:
+        self.machines = [
+            Machine(
+                f"cold-{i}",
+                rack=f"cold-rack-{i}",
+                disk_model=ARCHIVE_DISK,
+                network=network if network is not None else NetworkModel(),
+            )
+            for i in range(n_nodes)
+        ]
+        self.dfs = DFS(self.machines, replication=replication)
+
+    def stored_bytes(self) -> int:
+        """Total bytes currently on the cold tier."""
+        return sum(
+            self.dfs.file_length(path) for path in self.dfs.list_files("/")
+        )
+
+
+@dataclass
+class ArchiveReport:
+    """What one archival pass moved."""
+
+    segments_moved: int = 0
+    bytes_moved: int = 0
+    segments_examined: int = 0
+
+
+class LogArchiver:
+    """Moves aged sorted segments from a repository to cold storage.
+
+    Only *sorted* (compaction-produced) segments are candidates: active
+    segments still receive appends, and unsorted segments may hold
+    current versions of anything.  A sorted segment qualifies when every
+    record in it is older than the cutoff timestamp.
+    """
+
+    def __init__(self, repository: LogRepository, cold: ColdStorage) -> None:
+        self._repo = repository
+        self._cold = cold
+
+    def archive_older_than(self, cutoff_timestamp: int) -> ArchiveReport:
+        """Move qualifying sorted segments to the cold tier.
+
+        The segment's bytes are copied to the cold DFS, the hot copy is
+        deleted, and the repository records the new location so pointer
+        reads and scans keep working (at cold-tier cost).
+        """
+        report = ArchiveReport()
+        for file_no in list(self._repo.segments()):
+            if not self._repo.is_sorted_segment(file_no):
+                continue
+            if self._repo.is_archived(file_no):
+                continue
+            report.segments_examined += 1
+            newest = 0
+            for _, record in self._repo.scan_segment(file_no):
+                if record.record_type is RecordType.WRITE:
+                    newest = max(newest, record.timestamp)
+            if newest >= cutoff_timestamp:
+                continue
+            report.bytes_moved += self._move(file_no)
+            report.segments_moved += 1
+        return report
+
+    def _move(self, file_no: int) -> int:
+        hot_path = self._repo.segment_path(file_no)
+        payload = self._repo.read_segment_bytes(file_no)
+        cold_path = f"/archive{hot_path}"
+        if self._cold.dfs.exists(cold_path):
+            self._cold.dfs.delete(cold_path)
+        writer = self._cold.dfs.create(cold_path, self._repo.machine)
+        writer.append(payload)
+        writer.close()
+        self._repo.mark_archived(file_no, self._cold.dfs, cold_path)
+        return len(payload)

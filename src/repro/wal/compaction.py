@@ -1,0 +1,195 @@
+"""Log compaction (§3.6.5): the MapReduce-like vacuum/sort job.
+
+The job takes the current log segments as input, removes obsolete
+versions, invalidated records and uncommitted updates, sorts the remaining
+data by (table name, column group, record id, timestamp) — the paper's
+priority order — and writes one run of *sorted* segments per
+(table, column group) so related records are clustered for range scans.
+
+Structure mirrors the paper's MapReduce framing:
+
+* **map** — scan each input segment, classifying entries and collecting
+  the set of committed transactions;
+* **shuffle** — group surviving versions by (table, group);
+* **reduce** — per group, drop deleted/obsolete versions, sort by
+  (key, timestamp), and emit slim records into a new sorted segment.
+
+The caller (tablet server) keeps serving reads and writes from the old
+segments while the job runs and swaps indexes atomically afterwards.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+from repro.wal.record import LogPointer, LogRecord, RecordType
+from repro.wal.repository import LogRepository
+
+
+@dataclass
+class CompactionStats:
+    """What the job dropped and kept (reported by benchmarks/tests)."""
+
+    input_records: int = 0
+    kept_versions: int = 0
+    dropped_obsolete: int = 0
+    dropped_deleted: int = 0
+    dropped_uncommitted: int = 0
+    dropped_unowned: int = 0
+
+
+@dataclass
+class CompactionResult:
+    """Output of one compaction run.
+
+    Attributes:
+        new_segments: file numbers of the sorted segments written.
+        index_entries: ``(table, group, key, timestamp, pointer)`` for
+            every surviving version, in sorted order — the tablet server
+            rebuilds its in-memory indexes from this.
+        retired_segments: input file numbers now safe to discard.
+        stats: drop/keep accounting.
+    """
+
+    new_segments: list[int] = field(default_factory=list)
+    index_entries: list[tuple[str, str, bytes, int, LogPointer]] = field(
+        default_factory=list
+    )
+    retired_segments: list[int] = field(default_factory=list)
+    stats: CompactionStats = field(default_factory=CompactionStats)
+
+
+class CompactionJob:
+    """One compaction run over a log repository.
+
+    Args:
+        repository: the log to compact.
+        max_versions: keep at most this many newest committed versions per
+            (table, group, key); ``None`` keeps every committed version
+            (full multiversion history).
+    """
+
+    def __init__(
+        self,
+        repository: LogRepository,
+        max_versions: int | None = None,
+        owned=None,
+        retain_after: int | None = None,
+    ) -> None:
+        """Args:
+            owned: optional ``(table, key) -> bool``; records failing it
+                are discarded — they belong to tablets this server no
+                longer hosts (moved by rebalance/failover), whose new
+                owner already re-homed the data during adoption.
+            retain_after: optional timestamp; historical versions older
+                than it are dropped — except each key's newest version,
+                which survives regardless (a time-based retention policy,
+                composable with ``max_versions``).
+        """
+        if max_versions is not None and max_versions < 1:
+            raise ValueError("max_versions must be >= 1 or None")
+        self._repo = repository
+        self._max_versions = max_versions
+        self._owned = owned
+        self._retain_after = retain_after
+
+    def run(self, input_segments: list[int] | None = None) -> CompactionResult:
+        """Execute the job and install its output in the repository.
+
+        Args:
+            input_segments: segment file numbers to compact; defaults to
+                every segment currently in the repository.  Updates that
+                arrive in segments created after the job starts are left
+                for the next round, as §3.6.5 describes.
+        """
+        inputs = input_segments if input_segments is not None else self._repo.segments()
+        stats = CompactionStats()
+
+        # ---- map: scan segments, classify entries -------------------------
+        committed: set[int] = set()
+        writes: list[LogRecord] = []
+        deletes: list[LogRecord] = []
+        for file_no in inputs:
+            for _, record in self._repo.scan_segment(file_no):
+                stats.input_records += 1
+                if record.record_type is RecordType.COMMIT:
+                    committed.add(record.txn_id)
+                elif record.record_type is RecordType.WRITE:
+                    writes.append(record)
+                elif record.record_type is RecordType.INVALIDATE:
+                    deletes.append(record)
+                # ABORT and CHECKPOINT markers carry no data; dropped.
+
+        # ---- shuffle: group surviving versions by (table, group) ----------
+        grouped: dict[tuple[str, str], dict[bytes, list[LogRecord]]] = defaultdict(
+            lambda: defaultdict(list)
+        )
+        for record in writes:
+            if record.txn_id != 0 and record.txn_id not in committed:
+                stats.dropped_uncommitted += 1
+                continue
+            if self._owned is not None and not self._owned(record.table, record.key):
+                stats.dropped_unowned += 1
+                continue
+            grouped[(record.table, record.group)][record.key].append(record)
+
+        delete_high_water: dict[tuple[str, str, bytes], int] = {}
+        for record in deletes:
+            if record.txn_id != 0 and record.txn_id not in committed:
+                stats.dropped_uncommitted += 1
+                continue
+            slot = (record.table, record.group, record.key)
+            delete_high_water[slot] = max(
+                delete_high_water.get(slot, 0), record.timestamp
+            )
+
+        # ---- reduce: per group, drop obsolete, sort, write sorted runs ----
+        result = CompactionResult(stats=stats, retired_segments=list(inputs))
+        for (table, group), per_key in sorted(grouped.items()):
+            segment = self._repo.create_sorted_segment(table, group)
+            for key in sorted(per_key):
+                versions = sorted(per_key[key], key=lambda r: r.timestamp)
+                cutoff = delete_high_water.get((table, group, key), -1)
+                live = [r for r in versions if r.timestamp > cutoff]
+                stats.dropped_deleted += len(versions) - len(live)
+                if self._retain_after is not None and live:
+                    # Time-based retention: expire old history but always
+                    # keep the key's newest version.
+                    retained = [
+                        r for r in live[:-1] if r.timestamp >= self._retain_after
+                    ] + [live[-1]]
+                    stats.dropped_obsolete += len(live) - len(retained)
+                    live = retained
+                if self._max_versions is not None and len(live) > self._max_versions:
+                    stats.dropped_obsolete += len(live) - self._max_versions
+                    live = live[-self._max_versions :]
+                for record in live:
+                    # Survivors are committed by construction, and their
+                    # COMMIT records do not survive compaction — emit them
+                    # as auto-committed so a later redo scan or log split
+                    # does not hold them hostage to a commit marker that
+                    # no longer exists.
+                    committed_record = LogRecord(
+                        record_type=record.record_type,
+                        lsn=record.lsn,
+                        txn_id=0,
+                        table=record.table,
+                        tablet=record.tablet,
+                        key=record.key,
+                        group=record.group,
+                        timestamp=record.timestamp,
+                        value=record.value,
+                    )
+                    pointer = segment.append(committed_record.encode(slim=True))
+                    result.index_entries.append(
+                        (table, group, record.key, record.timestamp, pointer)
+                    )
+                    stats.kept_versions += 1
+            segment.close()
+            result.new_segments.append(segment.file_no)
+
+        # ---- install: retire inputs, persist slim metadata ----------------
+        self._repo.retire_segments(result.retired_segments)
+        self._repo.persist_meta()
+        return result

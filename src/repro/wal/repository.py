@@ -1,0 +1,337 @@
+"""The per-server log repository (§3.4).
+
+Each tablet server uses a *single log instance* for all tablets it
+maintains (the paper's design choice 1): one sequence of segment files in
+the DFS.  The repository assigns LSNs, rolls segments at the configured
+size, serves random reads by :class:`LogPointer`, and atomically installs
+the sorted segments produced by compaction.
+
+Sorted segments use the slim record layout (table/tablet/group omitted per
+entry); the repository keeps a metadata map ``file_no -> (table, group)``
+persisted in the DFS so reads can reconstitute full records — the §3.6.5
+storage optimization.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Iterator
+
+from repro.dfs.filesystem import DFS
+from repro.errors import InvalidLogPointer
+from repro.sim.machine import Machine
+from repro.wal.record import LogPointer, LogRecord
+from repro.wal.segment import LogSegmentReader, LogSegmentWriter, open_segment_reader
+
+DEFAULT_SEGMENT_SIZE = 64 * 1024 * 1024
+
+
+class LogRepository:
+    """Segmented, append-only log for one tablet server."""
+
+    def __init__(
+        self,
+        dfs: DFS,
+        machine: Machine,
+        root: str,
+        segment_size: int = DEFAULT_SEGMENT_SIZE,
+    ) -> None:
+        self._dfs = dfs
+        self._machine = machine
+        self._root = root.rstrip("/")
+        self._segment_size = segment_size
+        self._next_file_no = 1
+        self._next_lsn = 1
+        self._paths: dict[int, str] = {}
+        # file_no -> (table, group) for slim (sorted) segments
+        self._slim_meta: dict[int, tuple[str, str]] = {}
+        # file_no -> (cold DFS handle, cold path) for archived segments
+        self._archived: dict[int, tuple[DFS, str]] = {}
+        self._current: LogSegmentWriter | None = None
+        self._readers: dict[int, LogSegmentReader] = {}
+
+    # -- properties -------------------------------------------------------------
+
+    @property
+    def root(self) -> str:
+        """DFS directory prefix of this repository."""
+        return self._root
+
+    @property
+    def next_lsn(self) -> int:
+        """LSN that the next append will receive."""
+        return self._next_lsn
+
+    @property
+    def machine(self) -> Machine:
+        """The machine whose clock pays for log I/O."""
+        return self._machine
+
+    def set_next_lsn(self, lsn: int) -> None:
+        """Fast-forward the LSN counter (recovery restores it from the log)."""
+        self._next_lsn = max(self._next_lsn, lsn)
+
+    # -- segment management -------------------------------------------------------
+
+    def _segment_path(self, file_no: int, *, sorted_segment: bool = False) -> str:
+        kind = "sorted" if sorted_segment else "segment"
+        return f"{self._root}/{kind}-{file_no:08d}.log"
+
+    def _roll_if_needed(self, incoming: int) -> LogSegmentWriter:
+        if self._current is not None and self._current.size + incoming <= self._segment_size:
+            return self._current
+        if self._current is not None:
+            self._current.close()
+        file_no = self._next_file_no
+        self._next_file_no += 1
+        path = self._segment_path(file_no)
+        writer = self._dfs.create(path, self._machine)
+        self._current = LogSegmentWriter(file_no, writer)
+        self._paths[file_no] = path
+        return self._current
+
+    def segments(self) -> list[int]:
+        """All live segment file numbers in order."""
+        return sorted(self._paths)
+
+    def segment_path(self, file_no: int) -> str:
+        """DFS path of segment ``file_no``."""
+        return self._paths[file_no]
+
+    def is_sorted_segment(self, file_no: int) -> bool:
+        """Whether ``file_no`` is a compaction-produced sorted segment."""
+        return file_no in self._slim_meta
+
+    def segment_scope(self, file_no: int) -> tuple[str, str] | None:
+        """(table, group) a sorted segment holds, or None for unsorted
+        segments (which may hold anything).  This is the §3.6.5 metadata
+        map that lets group scans skip unrelated segments entirely."""
+        return self._slim_meta.get(file_no)
+
+    # -- archival tier (LHAM-inspired; see repro.wal.archive) ---------------
+
+    def is_archived(self, file_no: int) -> bool:
+        """Whether ``file_no`` lives on the cold tier."""
+        return file_no in self._archived
+
+    def read_segment_bytes(self, file_no: int) -> bytes:
+        """The raw bytes of one segment (used when copying to cold
+        storage)."""
+        path = self._paths[file_no]
+        return self._dfs.open(path, self._machine).read_all()
+
+    def mark_archived(self, file_no: int, cold_dfs: "DFS", cold_path: str) -> None:
+        """Record that ``file_no`` now lives at ``cold_path`` on the cold
+        tier and delete the hot copy; reads fall through transparently."""
+        hot_path = self._paths[file_no]
+        self._archived[file_no] = (cold_dfs, cold_path)
+        self._readers.pop(file_no, None)
+        self._dfs.delete(hot_path)
+
+    def total_bytes(self) -> int:
+        """Total size of all live segments on the HOT tier (archived
+        segments no longer count against hot storage)."""
+        return sum(
+            self._dfs.file_length(path)
+            for file_no, path in self._paths.items()
+            if file_no not in self._archived
+        )
+
+    # -- appends -------------------------------------------------------------------
+
+    def append(self, record: LogRecord) -> tuple[LogPointer, LogRecord]:
+        """Assign an LSN, durably append, and return (pointer, stamped record)."""
+        stamped = record.with_lsn(self._next_lsn)
+        self._next_lsn += 1
+        encoded = stamped.encode()
+        writer = self._roll_if_needed(len(encoded))
+        pointer = writer.append(encoded)
+        self._invalidate_reader(writer.file_no)
+        return pointer, stamped
+
+    def append_batch(self, records: list[LogRecord]) -> list[tuple[LogPointer, LogRecord]]:
+        """Group-commit append: one DFS round trip for the whole batch."""
+        if not records:
+            return []
+        stamped = []
+        encoded = []
+        for record in records:
+            rec = record.with_lsn(self._next_lsn)
+            self._next_lsn += 1
+            stamped.append(rec)
+            encoded.append(rec.encode())
+        writer = self._roll_if_needed(sum(len(e) for e in encoded))
+        pointers = writer.append_many(encoded)
+        self._invalidate_reader(writer.file_no)
+        return list(zip(pointers, stamped))
+
+    def _invalidate_reader(self, file_no: int) -> None:
+        # A cached reader holds stale length metadata after an append.
+        self._readers.pop(file_no, None)
+
+    # -- reads ----------------------------------------------------------------------
+
+    def _reader(self, file_no: int) -> LogSegmentReader:
+        reader = self._readers.get(file_no)
+        if reader is None:
+            archived = self._archived.get(file_no)
+            if archived is not None:
+                cold_dfs, cold_path = archived
+                reader = open_segment_reader(cold_dfs, cold_path, file_no, self._machine)
+            else:
+                path = self._paths.get(file_no)
+                if path is None:
+                    raise InvalidLogPointer(f"segment {file_no} does not exist")
+                reader = open_segment_reader(self._dfs, path, file_no, self._machine)
+            self._readers[file_no] = reader
+        return reader
+
+    def read(self, pointer: LogPointer) -> LogRecord:
+        """Random read of one record (a single disk seek, §3.5)."""
+        record = self._reader(pointer.file_no).read_at(pointer)
+        return self._fill_slim(pointer.file_no, record)
+
+    def _fill_slim(self, file_no: int, record: LogRecord) -> LogRecord:
+        meta = self._slim_meta.get(file_no)
+        if meta is None or record.table:
+            return record
+        table, group = meta
+        return LogRecord(
+            record_type=record.record_type,
+            lsn=record.lsn,
+            txn_id=record.txn_id,
+            table=table,
+            tablet=record.tablet,
+            key=record.key,
+            group=group,
+            timestamp=record.timestamp,
+            value=record.value,
+        )
+
+    def scan_segment(self, file_no: int) -> Iterator[tuple[LogPointer, LogRecord]]:
+        """Sequential scan of one segment."""
+        for pointer, record in self._reader(file_no).scan():
+            yield pointer, self._fill_slim(file_no, record)
+
+    def scan_all(
+        self, *, start: LogPointer | None = None
+    ) -> Iterator[tuple[LogPointer, LogRecord]]:
+        """Scan every segment in file order, optionally from ``start``.
+
+        Recovery uses ``start`` to resume from the last checkpoint position
+        instead of scanning the whole log (§3.8).
+        """
+        for file_no in self.segments():
+            if start is not None and file_no < start.file_no:
+                continue
+            for pointer, record in self.scan_segment(file_no):
+                if start is not None and file_no == start.file_no and pointer.offset < start.offset:
+                    continue
+                yield pointer, record
+
+    def end_pointer(self) -> LogPointer:
+        """Pointer just past the last appended byte (checkpoint position)."""
+        if self._current is None:
+            if not self._paths:
+                return LogPointer(0, 0, 0)
+            # After a roll, the resume point is the start of the segment
+            # that the next append will create.
+            return LogPointer(self._next_file_no, 0, 0)
+        return LogPointer(self._current.file_no, self._current.size, 0)
+
+    def roll(self) -> None:
+        """Close the active segment so the next append opens a fresh one.
+
+        The tablet server rolls before compaction so the job's input set is
+        frozen while new writes land in segments outside it (§3.6.5).
+        """
+        if self._current is not None:
+            self._current.close()
+            self._current = None
+
+    # -- compaction support --------------------------------------------------------
+
+    def create_sorted_segment(self, table: str, group: str) -> LogSegmentWriter:
+        """Open a writer for a new sorted segment holding one (table, group)."""
+        file_no = self._next_file_no
+        self._next_file_no += 1
+        path = self._segment_path(file_no, sorted_segment=True)
+        writer = self._dfs.create(path, self._machine)
+        segment = LogSegmentWriter(file_no, writer)
+        self._paths[file_no] = path
+        self._slim_meta[file_no] = (table, group)
+        return segment
+
+    def retire_segments(self, file_nos: list[int]) -> None:
+        """Delete old segments after compaction has installed their
+        replacements (§3.6.5: "the old log segments ... can be safely
+        discarded")."""
+        for file_no in file_nos:
+            if self._current is not None and self._current.file_no == file_no:
+                # The active segment was compacted away; the next append
+                # starts a fresh one.
+                self._current = None
+            path = self._paths.pop(file_no, None)
+            self._slim_meta.pop(file_no, None)
+            self._readers.pop(file_no, None)
+            archived = self._archived.pop(file_no, None)
+            if archived is not None:
+                cold_dfs, cold_path = archived
+                if cold_dfs.exists(cold_path):
+                    cold_dfs.delete(cold_path)
+            elif path is not None:
+                self._dfs.delete(path)
+        self._persist_meta()
+
+    def _meta_path(self) -> str:
+        return f"{self._root}/segments.meta"
+
+    def _persist_meta(self) -> None:
+        """Persist the slim-segment metadata map to the DFS."""
+        payload = json.dumps(
+            {str(no): list(meta) for no, meta in self._slim_meta.items()}
+        ).encode()
+        path = self._meta_path()
+        if self._dfs.exists(path):
+            self._dfs.delete(path)
+        writer = self._dfs.create(path, self._machine)
+        writer.append(payload)
+        writer.close()
+
+    def persist_meta(self) -> None:
+        """Public hook used after compaction installs sorted segments."""
+        self._persist_meta()
+
+    # -- recovery support -------------------------------------------------------------
+
+    @classmethod
+    def reattach(
+        cls,
+        dfs: DFS,
+        machine: Machine,
+        root: str,
+        segment_size: int = DEFAULT_SEGMENT_SIZE,
+    ) -> "LogRepository":
+        """Rebuild a repository handle over segments already in the DFS.
+
+        Used when a restarted or replacement server takes over a failed
+        server's log (§3.8).  The LSN counter is restored lazily by the
+        recovery scan.
+        """
+        repo = cls(dfs, machine, root, segment_size)
+        meta_path = repo._meta_path()
+        if dfs.exists(meta_path):
+            raw = dfs.open(meta_path, machine).read_all()
+            repo._slim_meta = {
+                int(no): (meta[0], meta[1])
+                for no, meta in json.loads(raw.decode()).items()
+            }
+        for path in dfs.list_files(repo._root + "/"):
+            name = path.rsplit("/", 1)[-1]
+            if name == "segments.meta":
+                continue
+            stem = name.rsplit(".", 1)[0]
+            file_no = int(stem.split("-")[-1])
+            repo._paths[file_no] = path
+            repo._next_file_no = max(repo._next_file_no, file_no + 1)
+        return repo

@@ -1,0 +1,181 @@
+"""HBase region server tests: WAL+Data semantics, flushes, recovery."""
+
+import pytest
+
+from repro.baselines.hbase.cluster import HBaseCluster
+from repro.baselines.hbase.store import HBaseConfig, HBaseRegionServer
+from repro.coordination.tso import TimestampOracle
+from repro.coordination.znodes import CoordinationService
+from repro.core.partition import KeyRange
+from repro.core.tablet import Tablet, TabletId
+from repro.errors import ServerDownError
+from repro.wal.record import RecordType
+
+
+@pytest.fixture
+def server(dfs, machines, schema):
+    tso = TimestampOracle(CoordinationService())
+    config = HBaseConfig(memstore_flush_size=2048, sstable_block_size=512)
+    srv = HBaseRegionServer("rs-0", machines[0], dfs, tso, config)
+    srv.assign_tablet(Tablet(TabletId("events", 0), KeyRange(b"", None), schema))
+    return srv
+
+
+def test_write_then_read_from_memstore(server):
+    ts = server.write("events", b"k", {"payload": b"v"})
+    assert server.read("events", b"k", "payload") == (ts, b"v")
+
+
+def test_write_goes_to_wal_and_memstore(server):
+    server.write("events", b"k", {"payload": b"v"})
+    wal_records = [r for _, r in server.wal.scan_all() if r.record_type is RecordType.WRITE]
+    assert len(wal_records) == 1
+    assert server._memstores[("events#0", "payload")].get_latest(b"k") is not None
+
+
+def test_flush_on_threshold_and_read_from_sstable(server):
+    for i in range(40):  # 40 * (~70 bytes) > 2048 -> at least one flush
+        server.write("events", f"k{i:02d}".encode(), {"payload": b"x" * 64})
+    assert server.flushes >= 1
+    assert server.read("events", b"k00", "payload")[1] == b"x" * 64
+
+
+def test_double_write_amplification(server, machines, dfs, schema):
+    """The paper's core claim: WAL+Data writes every byte at least twice."""
+    payload = b"p" * 256
+    for i in range(40):
+        server.write("events", f"k{i:02d}".encode(), {"payload": payload})
+    server.flush_all()
+    data_bytes = server.data_bytes()
+    logical = 40 * 256
+    assert data_bytes > 2 * logical  # WAL copy + SSTable copy (+ framing)
+
+
+def test_historical_read(server):
+    t1 = server.write("events", b"k", {"payload": b"v1"})
+    server.write("events", b"k", {"payload": b"v2"})
+    assert server.read("events", b"k", "payload", as_of=t1) == (t1, b"v1")
+
+
+def test_historical_read_spanning_flush(server):
+    t1 = server.write("events", b"k", {"payload": b"v1"})
+    server.flush_store(("events#0", "payload"))
+    server.write("events", b"k", {"payload": b"v2"})
+    assert server.read("events", b"k", "payload", as_of=t1)[1] == b"v1"
+    assert server.read("events", b"k", "payload")[1] == b"v2"
+
+
+def test_delete_tombstone_hides_record(server):
+    server.write("events", b"k", {"payload": b"v"})
+    server.delete("events", b"k", "payload")
+    assert server.read("events", b"k", "payload") is None
+
+
+def test_delete_survives_flush(server):
+    server.write("events", b"k", {"payload": b"v"})
+    server.delete("events", b"k", "payload")
+    server.flush_all()
+    assert server.read("events", b"k", "payload") is None
+
+
+def test_range_scan_sorted_latest(server):
+    for i in (3, 1, 2):
+        server.write("events", f"k{i}".encode(), {"payload": f"v{i}".encode()})
+    server.write("events", b"k2", {"payload": b"v2b"})
+    rows = list(server.range_scan("events", "payload", b"k1", b"k4"))
+    assert [(k, v) for k, _, v in rows] == [(b"k1", b"v1"), (b"k2", b"v2b"), (b"k3", b"v3")]
+
+
+def test_range_scan_merges_memstore_and_sstables(server):
+    server.write("events", b"a", {"payload": b"flushed"})
+    server.flush_all()
+    server.write("events", b"b", {"payload": b"buffered"})
+    rows = list(server.range_scan("events", "payload", b"", b"z"))
+    assert [k for k, _, _ in rows] == [b"a", b"b"]
+
+
+def test_minor_compaction_merges_files(server):
+    store = ("events#0", "payload")
+    for round_no in range(3):
+        server.write("events", f"k{round_no}".encode(), {"payload": b"v"})
+        server.flush_store(store)
+    assert server.minor_compactions >= 1
+    assert len(server._sstables[store]) < 3
+    assert server.read("events", b"k0", "payload") is not None
+
+
+def test_recovery_replays_wal(server, schema):
+    for i in range(10):
+        server.write("events", f"k{i}".encode(), {"payload": f"v{i}".encode()})
+    server.crash()
+    server.restart()
+    server.assign_tablet(Tablet(TabletId("events", 0), KeyRange(b"", None), schema))
+    replayed = server.recover()
+    assert replayed == 10
+    assert server.read("events", b"k7", "payload")[1] == b"v7"
+
+
+def test_recovery_skips_flushed_entries(server, schema):
+    for i in range(5):
+        server.write("events", f"a{i}".encode(), {"payload": b"v"})
+    server.flush_all()
+    for i in range(3):
+        server.write("events", f"b{i}".encode(), {"payload": b"v"})
+    server.crash()
+    server.restart()
+    server.assign_tablet(Tablet(TabletId("events", 0), KeyRange(b"", None), schema))
+    replayed = server.recover()
+    assert replayed == 3  # only the unflushed tail
+    assert server.read("events", b"a2", "payload") is not None
+    assert server.read("events", b"b2", "payload") is not None
+
+
+def test_crashed_server_rejects_ops(server):
+    server.crash()
+    with pytest.raises(ServerDownError):
+        server.write("events", b"k", {"payload": b"v"})
+
+
+def test_cluster_routing(schema):
+    cluster = HBaseCluster(3)
+    cluster.create_table(schema)
+    cluster.put_raw("events", b"000000000001", "payload", b"v")
+    assert cluster.get_raw("events", b"000000000001", "payload") == b"v"
+    owners = {cluster.server_for("events", str(k).zfill(12).encode()).name
+              for k in range(0, 2_000_000_000, 400_000_000)}
+    assert len(owners) == 3
+
+
+def test_trim_wal_after_full_flush(server):
+    for i in range(10):
+        server.write("events", f"k{i}".encode(), {"payload": b"x" * 64})
+    server.flush_all()
+    wal_before = server.wal.total_bytes()
+    removed = server.trim_wal()
+    assert removed >= 1
+    assert server.wal.total_bytes() < wal_before
+    # Data remains readable from the SSTables.
+    assert server.read("events", b"k3", "payload")[1] == b"x" * 64
+
+
+def test_trim_refused_with_unflushed_entries(server):
+    server.write("events", b"k", {"payload": b"v"})
+    assert server.trim_wal() == 0  # memstore holds data the WAL protects
+
+
+def test_recovery_after_trim(server, schema):
+    from repro.core.partition import KeyRange
+    from repro.core.tablet import Tablet, TabletId
+
+    for i in range(5):
+        server.write("events", f"a{i}".encode(), {"payload": b"flushed"})
+    server.flush_all()
+    server.trim_wal()
+    server.write("events", b"tail", {"payload": b"unflushed"})
+    server.crash()
+    server.restart()
+    server.assign_tablet(Tablet(TabletId("events", 0), KeyRange(b"", None), schema))
+    replayed = server.recover()
+    assert replayed == 1  # only the post-trim tail needed replay
+    assert server.read("events", b"a2", "payload")[1] == b"flushed"
+    assert server.read("events", b"tail", "payload")[1] == b"unflushed"

@@ -1,0 +1,71 @@
+"""LRS baseline tests: LogBase architecture with LSM-tree indexes."""
+
+from repro.baselines.lrs.store import LRSCluster, make_lrs_config
+from repro.config import LogBaseConfig
+from repro.core.client import Client
+from repro.index.lsm import LSMTreeIndex
+
+
+def test_config_swaps_index_kind():
+    cfg = make_lrs_config(LogBaseConfig(segment_size=123))
+    assert cfg.index_kind == "lsm"
+    assert cfg.segment_size == 123  # other settings preserved
+
+
+def test_servers_use_lsm_indexes(schema):
+    cluster = LRSCluster(3)
+    cluster.create_table(schema)
+    for index in cluster.servers[0].indexes().values():
+        assert isinstance(index, LSMTreeIndex)
+
+
+def test_full_crud_on_lrs(schema):
+    cluster = LRSCluster(3)
+    cluster.create_table(schema)
+    client = Client(cluster.master, cluster.machines[0])
+    client.put("events", b"000000000001", {"payload": {"body": b"v1"}})
+    assert client.get("events", b"000000000001", "payload") == {"body": b"v1"}
+    client.delete("events", b"000000000001", "payload")
+    assert client.get("events", b"000000000001", "payload") is None
+
+
+def test_lrs_survives_index_spill(schema):
+    """Data stays correct across LSM flushes (index beyond memory)."""
+    cluster = LRSCluster(3)
+    cluster.create_table(schema)
+    client = Client(cluster.master, cluster.machines[0])
+    # Shrink memtables so flushes happen at test scale.
+    for server in cluster.servers:
+        for index in server.indexes().values():
+            index._memtable_limit = 24 * 16
+    keys = [str(k).zfill(12).encode() for k in range(0, 2_000_000_000, 9_900_991)]
+    for key in keys:
+        client.put_raw("events", key, "payload", b"val-" + key)
+    flushed = sum(
+        index.flushes
+        for server in cluster.servers
+        for index in server.indexes().values()
+    )
+    assert flushed > 0
+    for key in keys[:50]:
+        assert client.get_raw("events", key, "payload") == b"val-" + key
+
+
+def test_lrs_index_memory_below_blink_equivalent(schema):
+    """The reason LRS exists: index memory stays bounded."""
+    cluster = LRSCluster(3)
+    cluster.create_table(schema)
+    client = Client(cluster.master, cluster.machines[0])
+    for server in cluster.servers:
+        for index in server.indexes().values():
+            index._memtable_limit = 24 * 32
+    n = 600
+    for k in range(n):
+        key = str(k * 3_000_000).zfill(12).encode()
+        client.put_raw("events", key, "payload", b"x")
+    from repro.index.interface import ENTRY_BYTES
+
+    resident = sum(s.index_memory_bytes() for s in cluster.servers)
+    # Far below the n * ENTRY_BYTES a fully in-memory index would need
+    # (bloom filters and block indexes are small).
+    assert resident < n * ENTRY_BYTES

@@ -1,0 +1,63 @@
+"""Unit tests for the HBase memtable."""
+
+from repro.baselines.hbase.memtable import Memtable
+
+
+def test_put_and_get_latest():
+    mem = Memtable()
+    mem.put(b"k", 1, b"old")
+    mem.put(b"k", 5, b"new")
+    assert mem.get_latest(b"k") == (5, b"new")
+
+
+def test_get_asof():
+    mem = Memtable()
+    mem.put(b"k", 2, b"v2")
+    mem.put(b"k", 8, b"v8")
+    assert mem.get_asof(b"k", 5) == (2, b"v2")
+    assert mem.get_asof(b"k", 1) is None
+
+
+def test_missing_key():
+    assert Memtable().get_latest(b"ghost") is None
+
+
+def test_tombstone_stored_as_none():
+    mem = Memtable()
+    mem.put(b"k", 1, b"v")
+    mem.put(b"k", 2, None)
+    assert mem.get_latest(b"k") == (2, None)
+
+
+def test_bytes_used_tracks_payload():
+    mem = Memtable()
+    mem.put(b"key", 1, b"x" * 100)
+    assert mem.bytes_used >= 100
+    before = mem.bytes_used
+    mem.put(b"key", 1, b"y" * 50)  # replace same version
+    assert mem.bytes_used < before
+
+
+def test_sorted_entries_order():
+    mem = Memtable()
+    mem.put(b"b", 2, b"")
+    mem.put(b"a", 9, b"")
+    mem.put(b"a", 1, b"")
+    order = [(k, ts) for k, ts, _ in mem.sorted_entries()]
+    assert order == [(b"a", 1), (b"a", 9), (b"b", 2)]
+
+
+def test_range_bounds():
+    mem = Memtable()
+    for i in range(5):
+        mem.put(f"k{i}".encode(), 1, b"v")
+    found = [k for k, _, _ in mem.range(b"k1", b"k4")]
+    assert found == [b"k1", b"k2", b"k3"]
+
+
+def test_clear_resets():
+    mem = Memtable()
+    mem.put(b"k", 1, b"v")
+    mem.clear()
+    assert len(mem) == 0
+    assert mem.bytes_used == 0

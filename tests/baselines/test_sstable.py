@@ -1,0 +1,93 @@
+"""Unit tests for SSTables: blocks, sparse index, trailer, caching."""
+
+import pytest
+
+from repro.baselines.hbase.sstable import SSTable, SSTableWriter
+from repro.util.lru import LRUCache
+
+
+def build_table(dfs, machine, n=100, block_size=256, path="/sst/t1"):
+    writer = SSTableWriter(dfs, path, machine, block_size=block_size)
+    for i in range(n):
+        writer.add(f"k{i:04d}".encode(), i + 1, f"value-{i}".encode())
+    writer.finish()
+    return SSTable(dfs, path, machine)
+
+
+def test_trailer_metadata(dfs, machines):
+    table = build_table(dfs, machines[0], n=50)
+    assert table.entry_count == 50
+    assert table.max_ts == 50
+
+
+def test_point_lookup(dfs, machines):
+    table = build_table(dfs, machines[0])
+    versions = table.get_versions(b"k0042", None)
+    assert versions == [(43, b"value-42")]
+
+
+def test_absent_key(dfs, machines):
+    table = build_table(dfs, machines[0])
+    assert table.get_versions(b"nope", None) == []
+
+
+def test_multiversion_key(dfs, machines):
+    writer = SSTableWriter(dfs, "/sst/mv", machines[0], block_size=128)
+    for ts in (1, 3, 7):
+        writer.add(b"k", ts, f"v{ts}".encode())
+    writer.finish()
+    table = SSTable(dfs, "/sst/mv", machines[0])
+    assert table.get_versions(b"k", None) == [(1, b"v1"), (3, b"v3"), (7, b"v7")]
+
+
+def test_tombstones_roundtrip(dfs, machines):
+    writer = SSTableWriter(dfs, "/sst/tomb", machines[0])
+    writer.add(b"k", 1, b"v")
+    writer.add(b"k", 2, None)
+    writer.finish()
+    table = SSTable(dfs, "/sst/tomb", machines[0])
+    assert table.get_versions(b"k", None) == [(1, b"v"), (2, None)]
+
+
+def test_sparse_index_has_multiple_blocks(dfs, machines):
+    table = build_table(dfs, machines[0], n=200, block_size=256)
+    assert len(table._block_index()) > 3
+
+
+def test_range_scan(dfs, machines):
+    table = build_table(dfs, machines[0])
+    keys = [k for k, _, _ in table.range(b"k0010", b"k0014", None)]
+    assert keys == [b"k0010", b"k0011", b"k0012", b"k0013"]
+
+
+def test_full_scan_in_order(dfs, machines):
+    table = build_table(dfs, machines[0], n=60)
+    keys = [k for k, _, _ in table.scan()]
+    assert keys == sorted(keys)
+    assert len(keys) == 60
+
+
+def test_point_read_fetches_whole_block(dfs, machines):
+    """The §4.2.2 effect: HBase reads a 64 KB-ish block per point read."""
+    table = build_table(dfs, machines[0], n=200, block_size=4096)
+    machines[0].counters.reset()
+    table.get_versions(b"k0100", None)
+    assert machines[0].counters.get("disk.bytes_read") >= 2048
+
+
+def test_block_cache_absorbs_second_read(dfs, machines):
+    table = build_table(dfs, machines[0], n=200, block_size=512)
+    cache = LRUCache(byte_capacity=1 << 20, sizer=lambda b: 512)
+    table.get_versions(b"k0100", cache)
+    before = machines[0].counters.get("disk.reads")
+    table.get_versions(b"k0100", cache)
+    assert machines[0].counters.get("disk.reads") == before
+
+
+def test_corrupt_magic_detected(dfs, machines):
+    from repro.errors import CorruptLogRecord
+
+    writer = dfs.create("/sst/bad", machines[0])
+    writer.append(b"not an sstable at all, padded to trailer size....")
+    with pytest.raises(CorruptLogRecord):
+        SSTable(dfs, "/sst/bad", machines[0])

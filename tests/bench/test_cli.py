@@ -1,0 +1,52 @@
+"""CLI smoke tests (the `python -m repro.bench.cli` entry point)."""
+
+import pytest
+
+from repro.bench.cli import build_parser, main
+
+
+def run_cli(capsys, *argv) -> str:
+    main(list(argv))
+    return capsys.readouterr().out
+
+
+def test_load_command(capsys):
+    out = run_cli(capsys, "--records", "60", "--systems", "logbase,hbase", "load")
+    assert "Parallel load" in out
+    assert "logbase" in out and "hbase" in out
+
+
+def test_mixed_command(capsys):
+    out = run_cli(
+        capsys, "--records", "60", "--ops", "20", "--systems", "logbase", "mixed"
+    )
+    assert "Mixed workload" in out
+    assert "update ms" in out
+
+
+def test_reads_command(capsys):
+    out = run_cli(
+        capsys, "--records", "60", "--ops", "10", "--systems", "logbase", "reads"
+    )
+    assert "Cold random reads" in out
+
+
+def test_tpcw_command(capsys):
+    out = run_cli(capsys, "--records", "15", "--ops", "5", "tpcw")
+    assert "TPC-W latency" in out and "TPC-W throughput" in out
+
+
+def test_stats_command(capsys):
+    out = run_cli(capsys, "--records", "40", "--ops", "10", "stats")
+    assert "cluster: 3 servers" in out
+
+
+def test_unknown_system_rejected():
+    with pytest.raises(SystemExit):
+        main(["--systems", "oracle", "load"])
+
+
+def test_parser_defaults():
+    args = build_parser().parse_args(["load"])
+    assert args.nodes == 3
+    assert args.systems == "logbase,hbase,lrs"

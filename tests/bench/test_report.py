@@ -1,0 +1,45 @@
+"""Report formatting edge cases."""
+
+from repro.bench.report import format_series, format_table
+
+
+def test_empty_rows():
+    out = format_table("T", ["a"], [])
+    assert out.splitlines() == ["T", "-", "a"]
+
+
+def test_float_formatting_four_sig_figs():
+    out = format_table("T", ["x"], [[0.123456]])
+    assert "0.1235" in out
+
+
+def test_large_numbers_scientific():
+    out = format_table("T", ["x"], [[123456789.0]])
+    assert "e+08" in out
+
+
+def test_mixed_cell_types():
+    out = format_table("T", ["a", "b", "c"], [[1, "text", 2.5]])
+    assert "text" in out and "2.5" in out
+
+
+def test_columns_aligned():
+    out = format_table("T", ["name", "v"], [["short", 1], ["a-much-longer-name", 2]])
+    lines = out.splitlines()
+    # All data rows have the value column starting at the same offset.
+    positions = {line.rstrip().rfind(" ") for line in lines[3:]}
+    assert len(positions) == 1
+
+
+def test_series_missing_points_blank():
+    out = format_series("S", "x", {"a": {1: 10.0}, "b": {2: 20.0}})
+    lines = out.splitlines()
+    assert any("1" in line and "10" in line for line in lines)
+    assert any("2" in line and "20" in line for line in lines)
+
+
+def test_series_x_values_sorted():
+    out = format_series("S", "x", {"a": {3: 1.0, 1: 2.0, 2: 3.0}})
+    body = out.splitlines()[3:]
+    xs = [int(line.split()[0]) for line in body]
+    assert xs == [1, 2, 3]

@@ -1,0 +1,72 @@
+"""TPC-W runner tests (the §4.4 experiment driver)."""
+
+import pytest
+
+from repro import LogBase, LogBaseConfig
+from repro.bench.tpcw import TPCWWorkload
+from repro.bench.tpcw_runner import run_tpcw, setup_tpcw
+
+
+@pytest.fixture
+def db():
+    return LogBase(3, LogBaseConfig(segment_size=256 * 1024))
+
+
+def test_setup_loads_entities(db):
+    workload = TPCWWorkload(products_per_node=20, customers_per_node=20)
+    products, customers = setup_tpcw(db, workload)
+    assert len(products) == 60 and len(customers) == 60
+    assert db.get("item", products[0], "detail") is not None
+    assert db.get("cart", customers[0], "cart") is not None
+
+
+def test_run_produces_metrics(db):
+    workload = TPCWWorkload(
+        products_per_node=20, customers_per_node=20, mix="shopping"
+    )
+    result = run_tpcw(db, workload, txns_per_node=10)
+    assert result.txns == 30
+    assert result.aborts == 0  # no concurrent conflicts in a serial run
+    assert result.seconds > 0
+    assert result.throughput > 0
+    assert len(result.latencies) == 30
+    assert result.mean_latency_ms > 0
+
+
+def test_orders_written_by_update_transactions(db):
+    workload = TPCWWorkload(
+        products_per_node=20, customers_per_node=20, mix="ordering"
+    )
+    result = run_tpcw(db, workload, txns_per_node=15)
+    orders = sum(
+        1 for server in db.cluster.servers for _ in server.full_scan("orders", "order")
+    )
+    # ~50 % of 45 transactions place orders.
+    assert orders > 10
+    assert result.txns == 45
+
+
+def test_order_transactions_avoid_2pc(db):
+    """Entity-group key design keeps cart + order on one tablet (§3.2)."""
+    workload = TPCWWorkload(products_per_node=10, customers_per_node=10, mix="ordering")
+    products, customers = setup_tpcw(db, workload)
+    customer = customers[0]
+    master = db.cluster.master
+    cart_owner, _ = master.locate("cart", customer)
+    order_owner, _ = master.locate("orders", TPCWWorkload.order_key(customer, 1))
+    assert cart_owner == order_owner
+
+
+def test_browsing_faster_than_ordering(db):
+    browsing = run_tpcw(
+        LogBase(3, LogBaseConfig(segment_size=256 * 1024)),
+        TPCWWorkload(products_per_node=20, customers_per_node=20, mix="browsing"),
+        txns_per_node=15,
+    )
+    ordering = run_tpcw(
+        LogBase(3, LogBaseConfig(segment_size=256 * 1024)),
+        TPCWWorkload(products_per_node=20, customers_per_node=20, mix="ordering"),
+        txns_per_node=15,
+    )
+    assert browsing.mean_latency_ms < ordering.mean_latency_ms
+    assert browsing.throughput > ordering.throughput

@@ -1,0 +1,81 @@
+"""YCSB and TPC-W workload definition tests."""
+
+import pytest
+
+from repro.bench.tpcw import TPCW_MIXES, TPCWWorkload
+from repro.bench.ycsb import YCSBWorkload, make_key
+
+
+class TestYCSB:
+    def test_keys_are_sortable_fixed_width(self):
+        assert make_key(5) == b"000000000005"
+        assert make_key(1_999_999_999) == b"001999999999"
+
+    def test_load_keys_unique_and_sorted(self):
+        w = YCSBWorkload(records_per_node=100)
+        keys = w.load_keys(3)
+        assert len(keys) == 300
+        assert keys == sorted(keys)
+        assert len(set(keys)) == 300
+
+    def test_keys_property_requires_load(self):
+        with pytest.raises(RuntimeError):
+            YCSBWorkload().keys
+
+    def test_value_size(self):
+        assert len(YCSBWorkload(record_size=1000).value()) == 1000
+
+    def test_operation_mix_ratio(self):
+        w = YCSBWorkload(records_per_node=100, update_fraction=0.75)
+        w.load_keys(1)
+        ops = list(w.operations(4000))
+        updates = sum(1 for kind, _ in ops if kind == "update")
+        assert 0.70 < updates / 4000 < 0.80
+
+    def test_operations_use_loaded_keys(self):
+        w = YCSBWorkload(records_per_node=50)
+        keys = set(w.load_keys(1))
+        assert all(key in keys for _, key in w.operations(500))
+
+    def test_streams_deterministic_per_offset(self):
+        w = YCSBWorkload(records_per_node=50)
+        w.load_keys(1)
+        a = list(w.operations(100, seed_offset=1))
+        b = list(w.operations(100, seed_offset=1))
+        c = list(w.operations(100, seed_offset=2))
+        assert a == b
+        assert a != c
+
+
+class TestTPCW:
+    def test_mix_fractions(self):
+        assert TPCW_MIXES == {"browsing": 0.05, "shopping": 0.20, "ordering": 0.50}
+
+    def test_unknown_mix_rejected(self):
+        with pytest.raises(ValueError):
+            TPCWWorkload(mix="buying")
+
+    def test_entities_sorted_unique(self):
+        w = TPCWWorkload(products_per_node=50, customers_per_node=50)
+        products, customers = w.generate_entities(2)
+        assert len(products) == 100 and len(set(products)) == 100
+        assert products == sorted(products)
+        assert len(customers) == 100
+
+    def test_order_key_shares_customer_prefix(self):
+        key = TPCWWorkload.order_key(b"000000000123", 7)
+        assert key.startswith(b"000000000123")
+        assert key != b"000000000123"
+
+    def test_transaction_mix_ratio(self):
+        w = TPCWWorkload(mix="ordering", products_per_node=100, customers_per_node=100)
+        products, customers = w.generate_entities(1)
+        txns = list(w.transactions(2000, products, customers))
+        orders = sum(1 for kind, *_ in txns if kind == "order")
+        assert 0.45 < orders / 2000 < 0.55
+
+    def test_order_sequence_numbers_unique(self):
+        w = TPCWWorkload(mix="ordering", products_per_node=10, customers_per_node=10)
+        products, customers = w.generate_entities(1)
+        seqs = [seq for kind, _, seq in w.transactions(500, products, customers) if kind == "order"]
+        assert len(seqs) == len(set(seqs))

@@ -1,0 +1,53 @@
+"""Shared fixtures: machines, DFS instances, clusters, schemas."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import ColumnGroup, LogBase, LogBaseConfig, TableSchema
+from repro.dfs.filesystem import DFS
+from repro.sim.machine import Machine
+
+
+@pytest.fixture
+def machines() -> list[Machine]:
+    """Three machines on two racks (smallest paper cluster)."""
+    return [Machine(f"node-{i}", rack=f"rack-{i % 2}") for i in range(3)]
+
+
+@pytest.fixture
+def dfs(machines: list[Machine]) -> DFS:
+    """A 3-node DFS with 3-way replication, small blocks for fast tests."""
+    return DFS(machines, replication=3, block_size=1 << 20, checksum_replicas=True)
+
+
+@pytest.fixture
+def schema() -> TableSchema:
+    """A two-group table used across core tests."""
+    return TableSchema(
+        "events",
+        "id",
+        (
+            ColumnGroup("payload", ("body",)),
+            ColumnGroup("meta", ("source", "kind")),
+        ),
+    )
+
+
+@pytest.fixture
+def small_config() -> LogBaseConfig:
+    """A config with tiny segments so rolling/compaction paths execute."""
+    return LogBaseConfig(segment_size=16 * 1024)
+
+
+@pytest.fixture
+def db(schema: TableSchema, small_config: LogBaseConfig) -> LogBase:
+    """A ready 3-node LogBase with the ``events`` table created."""
+    database = LogBase(n_nodes=3, config=small_config)
+    database.create_table(schema)
+    return database
+
+
+def make_key(value: int) -> bytes:
+    """Zero-padded 12-digit key helper shared by tests."""
+    return str(value).zfill(12).encode()

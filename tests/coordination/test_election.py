@@ -1,0 +1,53 @@
+"""Unit tests for leader election (master failover, §3.3)."""
+
+import pytest
+
+from repro.coordination.election import LeaderElection
+from repro.coordination.znodes import CoordinationService
+
+
+@pytest.fixture
+def service():
+    return CoordinationService()
+
+
+def test_no_candidates_no_leader(service):
+    election = LeaderElection(service, "/election")
+    assert election.leader() is None
+
+
+def test_first_volunteer_leads(service):
+    election = LeaderElection(service, "/election")
+    s1 = service.connect("m1")
+    election.volunteer(s1, "m1")
+    assert election.leader() == "m1"
+    assert election.is_leader("m1")
+
+
+def test_second_volunteer_waits(service):
+    election = LeaderElection(service, "/election")
+    s1, s2 = service.connect("m1"), service.connect("m2")
+    election.volunteer(s1, "m1")
+    election.volunteer(s2, "m2")
+    assert election.leader() == "m1"
+    assert not election.is_leader("m2")
+
+
+def test_leader_failure_promotes_standby(service):
+    election = LeaderElection(service, "/election")
+    s1, s2 = service.connect("m1"), service.connect("m2")
+    election.volunteer(s1, "m1")
+    election.volunteer(s2, "m2")
+    s1.expire()  # active master dies
+    assert election.leader() == "m2"
+
+
+def test_rejoin_goes_to_back_of_queue(service):
+    election = LeaderElection(service, "/election")
+    s1, s2 = service.connect("m1"), service.connect("m2")
+    election.volunteer(s1, "m1")
+    election.volunteer(s2, "m2")
+    s1.expire()
+    s1b = service.connect("m1")
+    election.volunteer(s1b, "m1")
+    assert election.leader() == "m2"

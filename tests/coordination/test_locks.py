@@ -1,0 +1,73 @@
+"""Unit tests for the distributed lock manager (MVOCC write locks)."""
+
+import pytest
+
+from repro.coordination.locks import DistributedLockManager
+from repro.coordination.znodes import CoordinationService
+from repro.errors import LockError
+
+
+@pytest.fixture
+def service():
+    return CoordinationService()
+
+
+@pytest.fixture
+def locks(service):
+    return DistributedLockManager(service)
+
+
+def test_acquire_free_lock(service, locks):
+    session = service.connect("t1")
+    assert locks.try_acquire(session, "record-a", "t1")
+    assert locks.holder("record-a") == "t1"
+
+
+def test_conflicting_acquire_fails(service, locks):
+    s1, s2 = service.connect("t1"), service.connect("t2")
+    assert locks.try_acquire(s1, "k", "t1")
+    assert not locks.try_acquire(s2, "k", "t2")
+    assert locks.holder("k") == "t1"
+
+
+def test_reentrant_acquire_succeeds(service, locks):
+    session = service.connect("t1")
+    assert locks.try_acquire(session, "k", "t1")
+    assert locks.try_acquire(session, "k", "t1")
+
+
+def test_release_frees_lock(service, locks):
+    s1, s2 = service.connect("t1"), service.connect("t2")
+    locks.try_acquire(s1, "k", "t1")
+    locks.release(s1, "k", "t1")
+    assert locks.holder("k") is None
+    assert locks.try_acquire(s2, "k", "t2")
+
+
+def test_release_by_non_holder_rejected(service, locks):
+    s1, s2 = service.connect("t1"), service.connect("t2")
+    locks.try_acquire(s1, "k", "t1")
+    with pytest.raises(LockError):
+        locks.release(s2, "k", "t2")
+
+
+def test_release_unheld_rejected(service, locks):
+    session = service.connect("t1")
+    with pytest.raises(LockError):
+        locks.release(session, "never", "t1")
+
+
+def test_session_expiry_frees_locks(service, locks):
+    s1 = service.connect("t1")
+    locks.try_acquire(s1, "k1", "t1")
+    locks.try_acquire(s1, "k2", "t1")
+    s1.expire()  # crashed transaction manager
+    assert locks.holder("k1") is None
+    assert locks.holder("k2") is None
+
+
+def test_held_locks_listing(service, locks):
+    s1 = service.connect("t1")
+    locks.try_acquire(s1, "a", "t1")
+    locks.try_acquire(s1, "b", "t1")
+    assert sorted(locks.held_locks("t1")) == ["a", "b"]

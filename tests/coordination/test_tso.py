@@ -1,0 +1,37 @@
+"""Unit tests for the timestamp oracle."""
+
+from repro.coordination.tso import TimestampOracle
+from repro.coordination.znodes import CoordinationService
+
+
+def test_timestamps_strictly_increase():
+    tso = TimestampOracle(CoordinationService())
+    values = [tso.next_timestamp() for _ in range(100)]
+    assert values == sorted(values)
+    assert len(set(values)) == 100
+
+
+def test_starts_at_configured_value():
+    tso = TimestampOracle(CoordinationService(), start=500)
+    assert tso.next_timestamp() == 500
+
+
+def test_current_peeks_without_allocating():
+    tso = TimestampOracle(CoordinationService())
+    peek = tso.current()
+    assert tso.current() == peek
+    assert tso.next_timestamp() == peek
+
+
+def test_read_timestamp_covers_all_commits():
+    tso = TimestampOracle(CoordinationService())
+    commit = tso.next_timestamp()
+    snapshot = tso.read_timestamp()
+    assert commit < snapshot
+
+
+def test_shared_oracle_across_handles():
+    service = CoordinationService()
+    a = TimestampOracle(service)
+    b = TimestampOracle(service)
+    assert a.next_timestamp() < b.next_timestamp()

@@ -1,0 +1,130 @@
+"""Unit tests for the znode tree: sessions, ephemerals, watches."""
+
+import pytest
+
+from repro.coordination.znodes import CoordinationService
+from repro.errors import (
+    NodeExistsError,
+    NoNodeError,
+    NotEmptyError,
+    SessionExpiredError,
+)
+
+
+@pytest.fixture
+def service():
+    return CoordinationService()
+
+
+@pytest.fixture
+def session(service):
+    return service.connect("tester")
+
+
+def test_create_and_get(service, session):
+    service.create(session, "/a", b"data")
+    data, stat = service.get("/a")
+    assert data == b"data"
+    assert stat.version == 0
+
+
+def test_nested_create_requires_parent(service, session):
+    with pytest.raises(NoNodeError):
+        service.create(session, "/a/b")
+
+
+def test_ensure_path_creates_ancestors(service, session):
+    service.ensure_path(session, "/a/b/c")
+    assert service.exists("/a/b/c")
+
+
+def test_duplicate_create_rejected(service, session):
+    service.create(session, "/a")
+    with pytest.raises(NodeExistsError):
+        service.create(session, "/a")
+
+
+def test_set_bumps_version(service, session):
+    service.create(session, "/a", b"v0")
+    version = service.set(session, "/a", b"v1")
+    assert version == 1
+    data, stat = service.get("/a")
+    assert data == b"v1" and stat.version == 1
+
+
+def test_sequential_nodes_are_ordered(service, session):
+    service.create(session, "/q")
+    p1 = service.create(session, "/q/item-", sequential=True)
+    p2 = service.create(session, "/q/item-", sequential=True)
+    assert p1 < p2
+    assert service.get_children("/q") == [p1.rsplit("/", 1)[1], p2.rsplit("/", 1)[1]]
+
+
+def test_delete_childless_only(service, session):
+    service.ensure_path(session, "/a/b")
+    with pytest.raises(NotEmptyError):
+        service.delete(session, "/a")
+    service.delete(session, "/a/b")
+    service.delete(session, "/a")
+    assert not service.exists("/a")
+
+
+def test_ephemeral_dies_with_session(service):
+    s1 = service.connect("one")
+    service.create(s1, "/live", ephemeral=True)
+    assert service.exists("/live")
+    s1.expire()
+    assert not service.exists("/live")
+
+
+def test_persistent_survives_session(service):
+    s1 = service.connect("one")
+    service.create(s1, "/kept")
+    s1.expire()
+    assert service.exists("/kept")
+
+
+def test_expired_session_rejected(service):
+    s1 = service.connect("one")
+    s1.expire()
+    with pytest.raises(SessionExpiredError):
+        service.create(s1, "/x")
+
+
+def test_watch_fires_on_create(service, session):
+    events = []
+    service.watch("/w", lambda event, path: events.append((event, path)))
+    service.create(session, "/w")
+    assert events == [("created", "/w")]
+
+
+def test_watch_is_one_shot(service, session):
+    events = []
+    service.create(session, "/w", b"0")
+    service.watch("/w", lambda event, path: events.append(event))
+    service.set(session, "/w", b"1")
+    service.set(session, "/w", b"2")
+    assert events == ["changed"]
+
+
+def test_watch_fires_on_session_expiry_delete(service):
+    s1 = service.connect("one")
+    service.create(s1, "/eph", ephemeral=True)
+    events = []
+    service.watch("/eph", lambda event, path: events.append(event))
+    s1.expire()
+    assert events == ["deleted"]
+
+
+def test_children_watch_on_parent(service, session):
+    service.create(session, "/parent")
+    events = []
+    service.watch("/parent", lambda event, path: events.append(event))
+    service.create(session, "/parent/child")
+    assert "children" in events
+
+
+def test_invalid_paths_rejected(service, session):
+    for bad in ("no-slash", "/", ""):
+        with pytest.raises(ValueError):
+            service.create(session, bad)

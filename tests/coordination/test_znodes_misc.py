@@ -1,0 +1,70 @@
+"""Additional coordination-service behaviours."""
+
+import pytest
+
+from repro.coordination.znodes import CoordinationService
+from repro.errors import NoNodeError
+
+
+@pytest.fixture
+def service():
+    return CoordinationService()
+
+
+def test_ensure_path_idempotent(service):
+    session = service.connect("c")
+    service.ensure_path(session, "/a/b/c")
+    service.ensure_path(session, "/a/b/c")  # second call is a no-op
+    assert service.exists("/a/b/c")
+
+
+def test_stat_counts_children(service):
+    session = service.connect("c")
+    service.ensure_path(session, "/p")
+    service.create(session, "/p/x")
+    service.create(session, "/p/y")
+    _, stat = service.get("/p")
+    assert stat.num_children == 2
+
+
+def test_stat_reports_ephemeral_owner(service):
+    session = service.connect("c")
+    service.create(session, "/eph", ephemeral=True)
+    _, stat = service.get("/eph")
+    assert stat.ephemeral_owner == session.session_id
+    service.create(session, "/persistent")
+    _, stat = service.get("/persistent")
+    assert stat.ephemeral_owner is None
+
+
+def test_get_children_of_missing_node(service):
+    with pytest.raises(NoNodeError):
+        service.get_children("/nowhere")
+
+
+def test_sequence_counters_are_per_parent(service):
+    session = service.connect("c")
+    service.ensure_path(session, "/q1")
+    service.ensure_path(session, "/q2")
+    p1 = service.create(session, "/q1/item-", sequential=True)
+    p2 = service.create(session, "/q2/item-", sequential=True)
+    # Both start their numbering independently.
+    assert p1.endswith("0000000000")
+    assert p2.endswith("0000000000")
+
+
+def test_expiring_session_twice_is_safe(service):
+    session = service.connect("c")
+    service.create(session, "/e", ephemeral=True)
+    session.expire()
+    session.expire()
+    assert not service.exists("/e")
+
+
+def test_nested_ephemerals_cleaned_up(service):
+    session = service.connect("c")
+    service.ensure_path(session, "/tree")
+    service.create(session, "/tree/leaf", ephemeral=True)
+    session.expire()
+    assert service.exists("/tree")       # persistent ancestor survives
+    assert not service.exists("/tree/leaf")

@@ -1,0 +1,88 @@
+"""Unit tests for checkpointing (§3.8)."""
+
+import pytest
+
+from repro.config import LogBaseConfig
+from repro.coordination.tso import TimestampOracle
+from repro.coordination.znodes import CoordinationService
+from repro.core.checkpoint import CheckpointBlock, CheckpointManager
+from repro.core.partition import KeyRange
+from repro.core.tablet import Tablet, TabletId
+from repro.core.tablet_server import TabletServer
+from repro.wal.record import LogPointer
+
+
+@pytest.fixture
+def server(dfs, machines, schema):
+    tso = TimestampOracle(CoordinationService())
+    srv = TabletServer("ts-0", machines[0], dfs, tso, LogBaseConfig())
+    srv.assign_tablet(Tablet(TabletId("events", 0), KeyRange(b"", None), schema))
+    return srv
+
+
+@pytest.fixture
+def manager(dfs, server):
+    return CheckpointManager(dfs, server)
+
+
+def test_block_roundtrip():
+    block = CheckpointBlock(
+        lsn=42, position=LogPointer(3, 128, 0), index_files={"t#0|g": "/p"}
+    )
+    restored = CheckpointBlock.from_bytes(block.to_bytes())
+    assert restored.lsn == 42
+    assert restored.position.file_no == 3 and restored.position.offset == 128
+    assert restored.index_files == {"t#0|g": "/p"}
+
+
+def test_no_checkpoint_initially(manager):
+    assert not manager.has_checkpoint()
+
+
+def test_write_checkpoint_persists_block_and_files(server, manager, dfs):
+    for i in range(10):
+        server.write("events", f"k{i}".encode(), {"payload": b"v"})
+    block = manager.write_checkpoint()
+    assert manager.has_checkpoint()
+    assert block.lsn == server.log.next_lsn - 1
+    for path in block.index_files.values():
+        assert dfs.exists(path)
+
+
+def test_load_checkpoint_restores_indexes(server, manager):
+    for i in range(10):
+        server.write("events", f"k{i}".encode(), {"payload": f"v{i}".encode()})
+    manager.write_checkpoint()
+
+    server.crash()
+    server.restart()
+    server.assign_tablet(
+        Tablet(TabletId("events", 0), KeyRange(b"", None), server.tablets["events#0"].schema)
+    )
+    block = manager.load_checkpoint()
+    assert block.lsn > 0
+    assert server.read("events", b"k3", "payload")[1] == b"v3"
+
+
+def test_checkpoint_overwrites_previous(server, manager):
+    server.write("events", b"a", {"payload": b"1"})
+    first = manager.write_checkpoint()
+    server.write("events", b"b", {"payload": b"2"})
+    second = manager.write_checkpoint()
+    assert second.lsn > first.lsn
+    assert manager.read_block().lsn == second.lsn
+
+
+def test_checkpoint_cost_scales_with_index_size(server, manager, machines):
+    for i in range(5):
+        server.write("events", f"s{i}".encode(), {"payload": b"v"})
+    before = machines[0].clock.now
+    manager.write_checkpoint()
+    small_cost = machines[0].clock.now - before
+
+    for i in range(500):
+        server.write("events", f"m{i:04d}".encode(), {"payload": b"v"})
+    before = machines[0].clock.now
+    manager.write_checkpoint()
+    large_cost = machines[0].clock.now - before
+    assert large_cost > small_cost

@@ -1,0 +1,45 @@
+"""Configuration arithmetic and validation."""
+
+import pytest
+
+from repro.config import GiB, LogBaseConfig
+
+
+def test_defaults_match_paper():
+    config = LogBaseConfig()
+    assert config.replication == 3
+    assert config.dfs_block_size == 64 * 1024 * 1024
+    assert config.segment_size == 64 * 1024 * 1024
+    assert config.index_heap_fraction == 0.40
+    assert config.cache_heap_fraction == 0.20
+
+
+def test_budget_arithmetic():
+    config = LogBaseConfig(heap_bytes=GiB)
+    assert config.index_budget_bytes == int(0.40 * GiB)
+    assert config.cache_budget_bytes == int(0.20 * GiB)
+
+
+def test_paper_index_capacity_estimate():
+    """§3.5: 40% of 1 GB heap holds ~17 million 24-byte entries."""
+    config = LogBaseConfig(heap_bytes=GiB)
+    entries = config.index_budget_bytes // 24
+    assert 16_000_000 < entries < 18_500_000
+
+
+def test_validate_accepts_defaults():
+    LogBaseConfig().validate()
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {"replication": 0},
+        {"index_kind": "hash"},
+        {"max_versions": 0},
+        {"index_heap_fraction": 0.8, "cache_heap_fraction": 0.5},
+    ],
+)
+def test_validate_rejects_bad_settings(kwargs):
+    with pytest.raises(ValueError):
+        LogBaseConfig(**kwargs).validate()

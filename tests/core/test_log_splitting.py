@@ -1,0 +1,114 @@
+"""Direct unit tests for log splitting and split-log adoption (§3.8)."""
+
+import pytest
+
+from repro.config import LogBaseConfig
+from repro.coordination.tso import TimestampOracle
+from repro.coordination.znodes import CoordinationService
+from repro.core.partition import KeyRange
+from repro.core.recovery import adopt_split_log, split_log_by_tablet
+from repro.core.tablet import Tablet, TabletId
+from repro.core.tablet_server import TabletServer
+from repro.wal.record import LogRecord, RecordType, commit_record
+
+
+@pytest.fixture
+def tso():
+    return TimestampOracle(CoordinationService())
+
+
+def two_tablet_server(dfs, machine, schema, tso, name="ts-split") -> TabletServer:
+    server = TabletServer(name, machine, dfs, tso, LogBaseConfig())
+    server.assign_tablet(
+        Tablet(TabletId("events", 0), KeyRange(b"", b"m"), schema)
+    )
+    server.assign_tablet(
+        Tablet(TabletId("events", 1), KeyRange(b"m", None), schema)
+    )
+    return server
+
+
+def test_split_separates_tablets(dfs, machines, schema, tso):
+    server = two_tablet_server(dfs, machines[0], schema, tso)
+    server.write("events", b"aaa", {"payload": b"left"})
+    server.write("events", b"zzz", {"payload": b"right"})
+    splits = split_log_by_tablet(dfs, server.name, machines[1])
+    assert set(splits.paths) == {"events#0", "events#1"}
+
+
+def test_adopt_replays_only_its_tablet(dfs, machines, schema, tso):
+    source = two_tablet_server(dfs, machines[0], schema, tso)
+    source.write("events", b"aaa", {"payload": b"left"})
+    source.write("events", b"zzz", {"payload": b"right"})
+    split_log_by_tablet(dfs, source.name, machines[1])
+
+    adopter = TabletServer("ts-adopt", machines[1], dfs, tso, LogBaseConfig())
+    adopter.assign_tablet(Tablet(TabletId("events", 1), KeyRange(b"m", None), schema))
+    report = adopt_split_log(adopter, dfs, source.name, "events#1")
+    assert report.writes_applied == 1
+    assert adopter.read("events", b"zzz", "payload")[1] == b"right"
+    from repro.errors import TabletNotFound
+
+    with pytest.raises(TabletNotFound):
+        adopter.read("events", b"aaa", "payload")
+
+
+def test_split_respects_start_pointer(dfs, machines, schema, tso):
+    """Only the post-checkpoint suffix is split (the §3.8 'from the
+    consistent recovery starting point')."""
+    server = two_tablet_server(dfs, machines[0], schema, tso)
+    server.write("events", b"aaa", {"payload": b"old"})
+    marker = server.log.end_pointer()
+    server.write("events", b"bbb", {"payload": b"new"})
+    splits = split_log_by_tablet(dfs, server.name, machines[1], start=marker)
+    assert set(splits.paths) == {"events#0"}
+    adopter = TabletServer("ts-adopt2", machines[2], dfs, tso, LogBaseConfig())
+    adopter.assign_tablet(Tablet(TabletId("events", 0), KeyRange(b"", b"m"), schema))
+    report = adopt_split_log(adopter, dfs, server.name, "events#0")
+    assert report.writes_applied == 1  # only "bbb"
+
+
+def test_uncommitted_txn_writes_not_adopted(dfs, machines, schema, tso):
+    server = two_tablet_server(dfs, machines[0], schema, tso)
+    # Committed transactional write plus an uncommitted one.
+    server.append_transactional([
+        LogRecord(RecordType.WRITE, txn_id=5, table="events", tablet="events#0",
+                  key=b"good", group="payload", timestamp=10, value=b"committed"),
+        commit_record(5, 10),
+    ])
+    server.append_transactional([
+        LogRecord(RecordType.WRITE, txn_id=6, table="events", tablet="events#0",
+                  key=b"bad", group="payload", timestamp=11, value=b"uncommitted"),
+    ])
+    split_log_by_tablet(dfs, server.name, machines[1])
+    adopter = TabletServer("ts-adopt3", machines[1], dfs, tso, LogBaseConfig())
+    adopter.assign_tablet(Tablet(TabletId("events", 0), KeyRange(b"", b"m"), schema))
+    report = adopt_split_log(adopter, dfs, server.name, "events#0")
+    assert report.uncommitted_ignored == 1
+    assert adopter.read("events", b"good", "payload")[1] == b"committed"
+    assert adopter.read("events", b"bad", "payload") is None
+
+
+def test_adopted_deletes_apply(dfs, machines, schema, tso):
+    server = two_tablet_server(dfs, machines[0], schema, tso)
+    server.write("events", b"aaa", {"payload": b"v"})
+    server.delete("events", b"aaa", "payload")
+    split_log_by_tablet(dfs, server.name, machines[1])
+    adopter = TabletServer("ts-adopt4", machines[1], dfs, tso, LogBaseConfig())
+    adopter.assign_tablet(Tablet(TabletId("events", 0), KeyRange(b"", b"m"), schema))
+    report = adopt_split_log(adopter, dfs, server.name, "events#0")
+    assert report.deletes_applied == 1
+    assert adopter.read("events", b"aaa", "payload") is None
+
+
+def test_adoption_rehomes_data_into_adopter_log(dfs, machines, schema, tso):
+    """Adoption re-appends records to the adopter's own log, so the
+    adopter no longer depends on the failed server's files."""
+    server = two_tablet_server(dfs, machines[0], schema, tso)
+    server.write("events", b"aaa", {"payload": b"move-me"})
+    split_log_by_tablet(dfs, server.name, machines[1])
+    adopter = TabletServer("ts-adopt5", machines[1], dfs, tso, LogBaseConfig())
+    adopter.assign_tablet(Tablet(TabletId("events", 0), KeyRange(b"", b"m"), schema))
+    adopt_split_log(adopter, dfs, server.name, "events#0")
+    own_records = [r.key for _, r in adopter.log.scan_all() if r.record_type is RecordType.WRITE]
+    assert b"aaa" in own_records

@@ -1,0 +1,123 @@
+"""Unit tests for vertical and horizontal partitioning (§3.2)."""
+
+import pytest
+
+from repro.core.partition import (
+    KeyRange,
+    QueryTrace,
+    VerticalPartitioner,
+    split_key_domain,
+)
+
+
+class TestKeyRange:
+    def test_contains_half_open(self):
+        rng = KeyRange(b"b", b"d")
+        assert rng.contains(b"b")
+        assert rng.contains(b"c")
+        assert not rng.contains(b"d")
+        assert not rng.contains(b"a")
+
+    def test_unbounded_end(self):
+        rng = KeyRange(b"m", None)
+        assert rng.contains(b"zzzz")
+        assert not rng.contains(b"a")
+
+
+class TestSplitKeyDomain:
+    def test_covers_whole_domain(self):
+        ranges = split_key_domain(1000, 4)
+        assert ranges[0].start == b""
+        assert ranges[-1].end is None
+        for a, b in zip(ranges, ranges[1:]):
+            assert a.end == b.start
+
+    def test_every_key_in_exactly_one_tablet(self):
+        ranges = split_key_domain(1000, 3)
+        for value in (0, 1, 332, 333, 334, 999, 2000):
+            key = str(value).zfill(12).encode()
+            owners = [r for r in ranges if r.contains(key)]
+            assert len(owners) == 1
+
+    def test_single_tablet(self):
+        ranges = split_key_domain(100, 1)
+        assert len(ranges) == 1
+        assert ranges[0].contains(b"000000000050")
+
+    def test_rejects_zero_tablets(self):
+        with pytest.raises(ValueError):
+            split_key_domain(100, 0)
+
+
+class TestVerticalPartitioner:
+    WIDTHS = {"a": 100, "b": 100, "c": 8, "d": 8}
+
+    def test_disjoint_queries_get_separate_groups(self):
+        part = VerticalPartitioner(self.WIDTHS)
+        trace = [
+            QueryTrace(frozenset({"a", "b"}), frequency=10),
+            QueryTrace(frozenset({"c", "d"}), frequency=10),
+        ]
+        groups = {frozenset(g) for g in part.partition(trace)}
+        assert frozenset({"a", "b"}) in groups
+        assert frozenset({"c", "d"}) in groups
+
+    def test_cotouched_columns_grouped(self):
+        part = VerticalPartitioner(self.WIDTHS)
+        trace = [QueryTrace(frozenset({"a", "c"}), frequency=100)]
+        groups = part.partition(trace)
+        owning = [g for g in groups if "a" in g]
+        assert "c" in owning[0]
+
+    def test_hot_narrow_query_splits_wide_column_away(self):
+        # An aggregate touching only the narrow column "c" should not drag
+        # the 100-byte column "a" along.
+        part = VerticalPartitioner(self.WIDTHS)
+        trace = [
+            QueryTrace(frozenset({"c"}), frequency=1000),
+            QueryTrace(frozenset({"a", "b", "c", "d"}), frequency=1),
+        ]
+        groups = part.partition(trace)
+        c_group = next(g for g in groups if "c" in g)
+        assert "a" not in c_group and "b" not in c_group
+
+    def test_cost_matches_definition(self):
+        part = VerticalPartitioner({"a": 10, "b": 20}, access_overhead=0)
+        trace = [QueryTrace(frozenset({"a"}), frequency=2)]
+        together = part.cost([frozenset({"a", "b"})], trace)
+        apart = part.cost([frozenset({"a"}), frozenset({"b"})], trace)
+        assert together == 60  # 2 * (10 + 20)
+        assert apart == 20     # 2 * 10
+
+    def test_access_overhead_rewards_grouping_coaccessed_columns(self):
+        part = VerticalPartitioner({"a": 10, "b": 10}, access_overhead=16)
+        trace = [QueryTrace(frozenset({"a", "b"}), frequency=1)]
+        together = part.cost([frozenset({"a", "b"})], trace)
+        apart = part.cost([frozenset({"a"}), frozenset({"b"})], trace)
+        assert together < apart
+
+
+    def test_greedy_agrees_on_small_obvious_case(self):
+        widths = {"a": 50, "b": 50, "c": 50}
+        trace = [
+            QueryTrace(frozenset({"a", "b"}), frequency=5),
+            QueryTrace(frozenset({"c"}), frequency=5),
+        ]
+        exhaustive = VerticalPartitioner(widths, exhaustive_limit=8).partition(trace)
+        greedy = VerticalPartitioner(widths, exhaustive_limit=0).partition(trace)
+        assert {frozenset(g) for g in exhaustive} == {frozenset(g) for g in greedy}
+
+    def test_build_schema_covers_all_columns(self):
+        part = VerticalPartitioner(self.WIDTHS)
+        trace = [QueryTrace(frozenset({"a"}), 1), QueryTrace(frozenset({"c", "d"}), 1)]
+        schema = part.build_schema("t", "id", trace)
+        covered = {c for g in schema.groups for c in g.columns}
+        assert covered == set(self.WIDTHS)
+
+    def test_rejects_empty_columns(self):
+        with pytest.raises(ValueError):
+            VerticalPartitioner({})
+
+    def test_set_partitions_count_is_bell_number(self):
+        parts = list(VerticalPartitioner._set_partitions(["a", "b", "c", "d"]))
+        assert len(parts) == 15  # Bell(4)

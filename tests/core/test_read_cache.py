@@ -1,0 +1,65 @@
+"""Unit tests for the read buffer (§3.6.2)."""
+
+from repro.core.read_cache import ReadCache
+from repro.util.lru import FIFOPolicy
+
+
+def test_miss_then_hit():
+    cache = ReadCache(1 << 16)
+    assert cache.get("t", "g", b"k") is None
+    cache.put("t", "g", b"k", 5, b"value")
+    assert cache.get("t", "g", b"k") == (5, b"value")
+    assert cache.hits == 1 and cache.misses == 1
+
+
+def test_newer_version_replaces():
+    cache = ReadCache(1 << 16)
+    cache.put("t", "g", b"k", 1, b"old")
+    cache.put("t", "g", b"k", 2, b"new")
+    assert cache.get("t", "g", b"k") == (2, b"new")
+
+
+def test_stale_version_does_not_replace():
+    cache = ReadCache(1 << 16)
+    cache.put("t", "g", b"k", 9, b"current")
+    cache.put("t", "g", b"k", 3, b"stale")
+    assert cache.get("t", "g", b"k") == (9, b"current")
+
+
+def test_invalidate_on_delete():
+    cache = ReadCache(1 << 16)
+    cache.put("t", "g", b"k", 1, b"v")
+    cache.invalidate("t", "g", b"k")
+    assert cache.get("t", "g", b"k") is None
+
+
+def test_groups_are_isolated():
+    cache = ReadCache(1 << 16)
+    cache.put("t", "g1", b"k", 1, b"one")
+    cache.put("t", "g2", b"k", 1, b"two")
+    assert cache.get("t", "g1", b"k")[1] == b"one"
+    assert cache.get("t", "g2", b"k")[1] == b"two"
+
+
+def test_byte_capacity_evicts():
+    cache = ReadCache(capacity_bytes=3 * (100 + 24))
+    for i in range(5):
+        cache.put("t", "g", f"k{i}".encode(), 1, b"x" * 100)
+    assert len(cache) <= 3
+    assert cache.bytes_used <= 3 * 124
+
+
+def test_pluggable_policy():
+    cache = ReadCache(capacity_bytes=2 * 124, policy=FIFOPolicy())
+    cache.put("t", "g", b"k0", 1, b"x" * 100)
+    cache.put("t", "g", b"k1", 1, b"x" * 100)
+    cache.get("t", "g", b"k0")  # FIFO ignores recency
+    cache.put("t", "g", b"k2", 1, b"x" * 100)
+    assert cache.get("t", "g", b"k0") is None
+
+
+def test_clear_simulates_crash():
+    cache = ReadCache(1 << 16)
+    cache.put("t", "g", b"k", 1, b"v")
+    cache.clear()
+    assert len(cache) == 0

@@ -1,0 +1,77 @@
+"""Unit tests for schemas, column groups, and the group-value codec."""
+
+import pytest
+
+from repro.core.schema import (
+    ColumnGroup,
+    TableSchema,
+    decode_group_value,
+    encode_group_value,
+)
+
+
+def test_group_requires_name():
+    with pytest.raises(ValueError):
+        ColumnGroup("", ("a",))
+
+
+def test_group_rejects_duplicate_columns():
+    with pytest.raises(ValueError):
+        ColumnGroup("g", ("a", "a"))
+
+
+def test_schema_maps_columns_to_groups():
+    schema = TableSchema(
+        "t", "id", (ColumnGroup("g1", ("a", "b")), ColumnGroup("g2", ("c",)))
+    )
+    assert schema.group_of_column("a").name == "g1"
+    assert schema.group_of_column("c").name == "g2"
+    assert schema.group_names == ["g1", "g2"]
+
+
+def test_schema_rejects_column_in_two_groups():
+    with pytest.raises(ValueError):
+        TableSchema("t", "id", (ColumnGroup("g1", ("a",)), ColumnGroup("g2", ("a",))))
+
+
+def test_schema_rejects_key_in_group():
+    with pytest.raises(ValueError):
+        TableSchema("t", "id", (ColumnGroup("g", ("id",)),))
+
+
+def test_unknown_group_lookup():
+    schema = TableSchema("t", "id", (ColumnGroup("g", ("a",)),))
+    with pytest.raises(KeyError):
+        schema.group("missing")
+    with pytest.raises(KeyError):
+        schema.group_of_column("missing")
+
+
+def test_groups_for_columns_minimal_cover():
+    schema = TableSchema(
+        "t", "id", (ColumnGroup("g1", ("a", "b")), ColumnGroup("g2", ("c",)))
+    )
+    covering = schema.groups_for_columns({"a"})
+    assert [g.name for g in covering] == ["g1"]
+    covering = schema.groups_for_columns({"a", "c"})
+    assert [g.name for g in covering] == ["g1", "g2"]
+
+
+def test_group_value_roundtrip():
+    values = {"title": b"LogBase", "cost": b"42", "empty": b""}
+    assert decode_group_value(encode_group_value(values)) == values
+
+
+def test_group_value_empty_roundtrip():
+    assert decode_group_value(encode_group_value({})) == {}
+
+
+def test_group_value_deterministic_order():
+    a = encode_group_value({"x": b"1", "y": b"2"})
+    b = encode_group_value({"y": b"2", "x": b"1"})
+    assert a == b
+
+
+def test_group_value_binary_safe():
+    values = {"blob": bytes(range(256))}
+    assert decode_group_value(encode_group_value(values)) == values

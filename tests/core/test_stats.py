@@ -1,0 +1,64 @@
+"""Tests for the operational stats module."""
+
+from repro.core.stats import collect_cluster_stats, collect_server_stats, format_stats
+
+
+def test_server_snapshot_reflects_writes(db):
+    server_before = collect_server_stats(db.cluster.servers[0])
+    key = db.cluster.master.tablets("events")[0].key_range.start or b"000000000001"
+    owner, _ = db.cluster.master.locate("events", key)
+    server = db.cluster.master.server(owner)
+    server.write("events", key, {"payload": b"v"})
+    after = collect_server_stats(server)
+    assert after.index_entries >= 1
+    assert after.log_bytes > 0
+    assert after.next_lsn >= 2
+    assert after.simulated_seconds > 0
+    assert after.tablets == 1
+    assert after.serving
+
+
+def test_cache_stats_hit_rate(db):
+    db.put("events", b"000000000001", {"payload": {"body": b"v"}})
+    db.get("events", b"000000000001", "payload")
+    owner, _ = db.cluster.master.locate("events", b"000000000001")
+    stats = collect_server_stats(db.cluster.master.server(owner))
+    assert stats.cache is not None
+    assert stats.cache.hits >= 1
+    assert 0.0 <= stats.cache.hit_rate <= 1.0
+
+
+def test_cluster_snapshot_aggregates(db):
+    for i in range(6):
+        key = str(i * 300_000_000).zfill(12).encode()
+        db.put("events", key, {"payload": {"body": b"v"}})
+    stats = collect_cluster_stats(db.cluster)
+    assert len(stats.servers) == 3
+    assert stats.total_index_entries == 6
+    assert stats.total_log_bytes == sum(s.log_bytes for s in stats.servers)
+    assert stats.makespan_seconds == db.cluster.elapsed_makespan()
+    assert stats.counters.get("disk.bytes_written", 0) > 0
+
+
+def test_format_stats_readable(db):
+    db.put("events", b"000000000001", {"payload": {"body": b"v"}})
+    text = format_stats(collect_cluster_stats(db.cluster))
+    assert "cluster: 3 servers" in text
+    for server in db.cluster.servers:
+        assert server.name in text
+    assert "totals:" in text
+
+
+def test_down_server_reported(db):
+    db.cluster.servers[0].crash()
+    stats = collect_cluster_stats(db.cluster)
+    down = next(s for s in stats.servers if s.name == db.cluster.servers[0].name)
+    assert not down.serving
+    assert "[down]" in format_stats(stats)
+
+
+def test_secondary_index_count(db):
+    for server in db.cluster.servers:
+        server.create_secondary_index("events", "meta", "source")
+    stats = collect_server_stats(db.cluster.servers[0])
+    assert stats.secondary_indexes == 1

@@ -1,0 +1,216 @@
+"""Unit tests for the tablet server: write/read/delete/scan/compaction."""
+
+import pytest
+
+from repro.config import LogBaseConfig
+from repro.coordination.tso import TimestampOracle
+from repro.coordination.znodes import CoordinationService
+from repro.core.partition import KeyRange
+from repro.core.tablet import Tablet, TabletId
+from repro.core.tablet_server import TabletServer
+from repro.errors import ServerDownError, TabletNotFound
+
+
+@pytest.fixture
+def tso():
+    return TimestampOracle(CoordinationService())
+
+
+@pytest.fixture
+def server(dfs, machines, schema, tso):
+    config = LogBaseConfig(segment_size=8 * 1024)
+    srv = TabletServer("ts-0", machines[0], dfs, tso, config)
+    tablet = Tablet(TabletId("events", 0), KeyRange(b"", None), schema)
+    srv.assign_tablet(tablet)
+    return srv
+
+
+def test_write_then_read(server):
+    ts = server.write("events", b"k1", {"payload": b"hello"})
+    assert server.read("events", b"k1", "payload") == (ts, b"hello")
+
+
+def test_write_returns_monotonic_timestamps(server):
+    t1 = server.write("events", b"a", {"payload": b"1"})
+    t2 = server.write("events", b"a", {"payload": b"2"})
+    assert t2 > t1
+
+
+def test_read_unknown_key(server):
+    assert server.read("events", b"ghost", "payload") is None
+
+
+def test_multi_group_write_lands_in_both_indexes(server):
+    server.write("events", b"k", {"payload": b"p", "meta": b"m"})
+    assert server.read("events", b"k", "payload")[1] == b"p"
+    assert server.read("events", b"k", "meta")[1] == b"m"
+
+
+def test_historical_read_via_as_of(server):
+    t1 = server.write("events", b"k", {"payload": b"v1"})
+    t2 = server.write("events", b"k", {"payload": b"v2"})
+    assert server.read("events", b"k", "payload", as_of=t1) == (t1, b"v1")
+    assert server.read("events", b"k", "payload", as_of=t2) == (t2, b"v2")
+    assert server.read("events", b"k", "payload", as_of=t1 - 1) is None
+
+
+def test_read_served_from_cache_second_time(server, machines):
+    server.write("events", b"k", {"payload": b"v"})
+    server.read_cache.clear()
+    server.read("events", b"k", "payload")  # fills cache from the log
+    before = machines[0].counters.get("disk.reads")
+    server.read("events", b"k", "payload")
+    assert machines[0].counters.get("disk.reads") == before
+    assert server.read_cache.hits >= 1
+
+
+def test_cold_read_uses_one_log_seek(server, machines):
+    """The §3.5 long-tail claim: one disk access per uncached read."""
+    for i in range(50):
+        server.write("events", str(i).encode() * 4, {"payload": b"v" * 100})
+    server.read_cache.clear()
+    machines[0].disk.invalidate_head()
+    seeks_before = machines[0].counters.get("disk.seeks")
+    server.read("events", b"7777", "payload")
+    assert machines[0].counters.get("disk.seeks") - seeks_before == 1
+
+
+def test_cache_disabled_config(dfs, machines, schema, tso):
+    config = LogBaseConfig(read_cache_enabled=False)
+    srv = TabletServer("ts-x", machines[1], dfs, tso, config)
+    srv.assign_tablet(Tablet(TabletId("events", 0), KeyRange(b"", None), schema))
+    srv.write("events", b"k", {"payload": b"v"})
+    assert srv.read_cache is None
+    assert srv.read("events", b"k", "payload")[1] == b"v"
+
+
+def test_delete_removes_and_persists_marker(server):
+    server.write("events", b"k", {"payload": b"v"})
+    removed = server.delete("events", b"k", "payload")
+    assert removed == 1
+    assert server.read("events", b"k", "payload") is None
+    # The invalidated entry is in the log (null Data).
+    markers = [
+        record
+        for _, record in server.log.scan_all()
+        if record.is_delete and record.key == b"k"
+    ]
+    assert len(markers) == 1
+    assert markers[0].value is None
+
+
+def test_delete_then_rewrite(server):
+    server.write("events", b"k", {"payload": b"old"})
+    server.delete("events", b"k", "payload")
+    ts = server.write("events", b"k", {"payload": b"new"})
+    assert server.read("events", b"k", "payload") == (ts, b"new")
+
+
+def test_range_scan_latest_versions_sorted(server):
+    for i in (3, 1, 2):
+        server.write("events", f"k{i}".encode(), {"payload": f"v{i}".encode()})
+    server.write("events", b"k2", {"payload": b"v2-new"})
+    rows = list(server.range_scan("events", "payload", b"k1", b"k3"))
+    assert [(key, value) for key, _, value in rows] == [
+        (b"k1", b"v1"),
+        (b"k2", b"v2-new"),
+    ]
+
+
+def test_range_scan_as_of(server):
+    t1 = server.write("events", b"k", {"payload": b"v1"})
+    server.write("events", b"k", {"payload": b"v2"})
+    rows = list(server.range_scan("events", "payload", b"", b"z", as_of=t1))
+    assert [value for _, _, value in rows] == [b"v1"]
+
+
+def test_full_scan_returns_only_current_versions(server):
+    for i in range(5):
+        server.write("events", f"k{i}".encode(), {"payload": b"old"})
+    for i in range(5):
+        server.write("events", f"k{i}".encode(), {"payload": b"new"})
+    rows = list(server.full_scan("events", "payload"))
+    assert len(rows) == 5
+    assert all(value == b"new" for _, _, value in rows)
+
+
+def test_compaction_preserves_reads(server):
+    for i in range(30):
+        server.write("events", f"k{i:02d}".encode(), {"payload": f"v{i}".encode()})
+    server.delete("events", b"k05", "payload")
+    result = server.compact()
+    assert result.stats.kept_versions > 0
+    assert server.read("events", b"k07", "payload")[1] == b"v7"
+    assert server.read("events", b"k05", "payload") is None
+
+
+def test_compaction_clusters_range_scans(server, machines):
+    import random
+
+    rng = random.Random(3)
+    keys = [f"{rng.randrange(10**9):010d}".encode() for _ in range(200)]
+    for key in keys:
+        server.write("events", key, {"payload": b"x" * 64})
+    keys.sort()
+
+    def scan_seeks() -> float:
+        server.read_cache.clear()
+        machines[0].disk.invalidate_head()
+        before = machines[0].counters.get("disk.seeks")
+        list(server.range_scan("events", "payload", keys[50], keys[90]))
+        return machines[0].counters.get("disk.seeks") - before
+
+    before_compaction = scan_seeks()
+    server.compact()
+    after_compaction = scan_seeks()
+    assert after_compaction < before_compaction
+
+
+def test_crashed_server_rejects_ops(server):
+    server.crash()
+    with pytest.raises(ServerDownError):
+        server.write("events", b"k", {"payload": b"v"})
+    with pytest.raises(ServerDownError):
+        server.read("events", b"k", "payload")
+
+
+def test_route_unknown_table(server):
+    with pytest.raises(TabletNotFound):
+        server.write("nope", b"k", {"payload": b"v"})
+
+
+def test_unassign_tablet_drops_indexes(server, schema):
+    server.write("events", b"k", {"payload": b"v"})
+    server.unassign_tablet(TabletId("events", 0))
+    with pytest.raises(TabletNotFound):
+        server.read("events", b"k", "payload")
+    assert server.indexes() == {}
+
+
+def test_index_memory_accounting(server):
+    assert server.index_memory_bytes() == 0
+    server.write("events", b"k", {"payload": b"v", "meta": b"m"})
+    assert server.index_memory_bytes() == 2 * 24
+
+
+def test_checkpoint_hook_fires_on_threshold(dfs, machines, schema, tso):
+    config = LogBaseConfig(checkpoint_update_threshold=5)
+    srv = TabletServer("ts-h", machines[2], dfs, tso, config)
+    srv.assign_tablet(Tablet(TabletId("events", 0), KeyRange(b"", None), schema))
+    calls = []
+    srv.set_checkpoint_hook(lambda s: calls.append(s.name))
+    for i in range(5):
+        srv.write("events", str(i).encode(), {"payload": b"v"})
+    assert calls == ["ts-h"]
+
+
+def test_compact_with_retention_cutoff(server):
+    timestamps = [
+        server.write("events", b"k", {"payload": f"v{i}".encode()}) for i in range(5)
+    ]
+    result = server.compact(retain_after=timestamps[3])
+    assert result.stats.dropped_obsolete == 3
+    # Latest still readable; expired history is gone.
+    assert server.read("events", b"k", "payload")[1] == b"v4"
+    assert server.read("events", b"k", "payload", as_of=timestamps[3])[1] == b"v3"
+    assert server.read("events", b"k", "payload", as_of=timestamps[1]) is None

@@ -1,0 +1,75 @@
+"""Unit tests for datanode replica storage."""
+
+import pytest
+
+from repro.dfs.datanode import DataNode
+from repro.errors import BlockCorruptionError, DataNodeDownError
+from repro.sim.machine import Machine
+
+
+@pytest.fixture
+def node():
+    return DataNode(Machine("m0"), checksum_replicas=True)
+
+
+def test_create_append_read(node):
+    node.create_replica(1)
+    node.append_replica(1, b"hello")
+    payload, cost = node.read_replica(1, 0, 5)
+    assert payload == b"hello"
+    assert cost > 0
+
+
+def test_read_range(node):
+    node.create_replica(1)
+    node.append_replica(1, b"abcdefgh")
+    payload, _ = node.read_replica(1, 2, 3)
+    assert payload == b"cde"
+
+
+def test_read_past_end_raises(node):
+    node.create_replica(1)
+    node.append_replica(1, b"abc")
+    with pytest.raises(BlockCorruptionError):
+        node.read_replica(1, 2, 5)
+
+
+def test_down_node_rejects_ops(node):
+    node.create_replica(1)
+    node.fail()
+    with pytest.raises(DataNodeDownError):
+        node.append_replica(1, b"x")
+    with pytest.raises(DataNodeDownError):
+        node.read_replica(1, 0, 0)
+
+
+def test_checksum_verification(node):
+    node.create_replica(7)
+    node.append_replica(7, b"block data")
+    node.append_replica(7, b" more")
+    assert node.verify_replica(7)
+
+
+def test_verify_detects_corruption(node):
+    node.create_replica(7)
+    node.append_replica(7, b"block data")
+    node._blocks[7][0] ^= 0xFF  # simulate bit rot
+    assert not node.verify_replica(7)
+
+
+def test_verify_missing_block(node):
+    assert not node.verify_replica(99)
+
+
+def test_drop_replica(node):
+    node.create_replica(1)
+    node.append_replica(1, b"x")
+    node.drop_replica(1)
+    assert not node.has_block(1)
+
+
+def test_appends_charge_disk_time(node):
+    node.create_replica(1)
+    before = node.machine.clock.now
+    node.append_replica(1, b"x" * 10_000)
+    assert node.machine.clock.now > before

@@ -1,0 +1,48 @@
+"""Replica-placement distribution tests (the Figure 11 hotspot fix)."""
+
+from collections import Counter
+
+from repro.dfs.namenode import NameNode
+
+
+def build(n=8, racks=2):
+    nn = NameNode(replication=3)
+    for i in range(n):
+        nn.register_datanode(f"node-{i}", f"rack-{i % racks}")
+    return nn, {f"node-{i}" for i in range(n)}
+
+
+def test_remote_replicas_spread_over_nodes():
+    """Second replicas must not all land on one remote node (real HDFS
+    randomizes; a fixed choice creates a replication hotspot)."""
+    nn, alive = build()
+    nn.create_file("/f")
+    seconds = Counter()
+    for _ in range(200):
+        block = nn.allocate_block("/f", "node-0", alive)
+        seconds[block.locations[1]] += 1
+    # node-0 is on rack-0; remote candidates are the 4 rack-1 nodes.
+    assert len(seconds) >= 3
+    assert max(seconds.values()) < 150  # no single hotspot
+
+
+def test_rack_constraint_still_holds_under_rotation():
+    nn, alive = build()
+    nn.create_file("/f")
+    for _ in range(50):
+        block = nn.allocate_block("/f", "node-2", alive)
+        racks = ["rack-0" if int(n[-1]) % 2 == 0 else "rack-1" for n in block.locations]
+        assert block.locations[0] == "node-2"
+        assert racks[1] != racks[0]
+        assert racks[2] == racks[1]
+        assert len(set(block.locations)) == 3
+
+
+def test_single_rack_cluster_degrades_gracefully():
+    nn = NameNode(replication=3)
+    for i in range(4):
+        nn.register_datanode(f"node-{i}", "rack-0")
+    nn.create_file("/f")
+    block = nn.allocate_block("/f", "node-1", {f"node-{i}" for i in range(4)})
+    assert len(block.locations) == 3
+    assert len(set(block.locations)) == 3

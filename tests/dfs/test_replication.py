@@ -1,0 +1,118 @@
+"""Failure behaviour of the replicated DFS — Guarantee 1's substrate:
+data stays readable as long as one replica survives."""
+
+import pytest
+
+from repro.dfs.filesystem import DFS
+from repro.errors import DataNodeDownError
+from repro.sim.machine import Machine
+
+
+@pytest.fixture
+def machines():
+    return [Machine(f"node-{i}", rack=f"rack-{i % 2}") for i in range(4)]
+
+
+@pytest.fixture
+def dfs(machines):
+    return DFS(machines, replication=3, block_size=1 << 16)
+
+
+def test_read_survives_one_replica_failure(dfs, machines):
+    dfs.create("/f", machines[0]).append(b"precious")
+    block = dfs.namenode.get_file("/f").blocks[0]
+    dfs.datanode(block.locations[0]).fail()
+    reader = dfs.open("/f", machines[1] if machines[1].alive else machines[2])
+    assert reader.read_all() == b"precious"
+
+
+def test_read_survives_two_replica_failures(dfs, machines):
+    dfs.create("/f", machines[0]).append(b"precious")
+    block = dfs.namenode.get_file("/f").blocks[0]
+    for location in block.locations[:2]:
+        dfs.datanode(location).fail()
+    survivor = block.locations[2]
+    reader = dfs.open("/f", dfs.datanode(survivor).machine)
+    assert reader.read_all() == b"precious"
+
+
+def test_all_replicas_down_is_data_loss(dfs, machines):
+    dfs.create("/f", machines[0]).append(b"gone")
+    block = dfs.namenode.get_file("/f").blocks[0]
+    for location in block.locations:
+        dfs.datanode(location).fail()
+    alive = next(m for m in machines if m.alive)
+    with pytest.raises(DataNodeDownError):
+        dfs.open("/f", alive).read_all()
+
+
+def test_append_pipeline_skips_dead_replica(dfs, machines):
+    writer = dfs.create("/f", machines[0])
+    writer.append(b"a")
+    block = dfs.namenode.get_file("/f").blocks[0]
+    dead = block.locations[-1]
+    dfs.datanode(dead).fail()
+    writer.append(b"b")  # pipeline continues with live replicas
+    live = [loc for loc in block.locations if loc != dead]
+    for location in live:
+        assert dfs.datanode(location).block_length(block.block_id) == 2
+
+
+def test_new_blocks_avoid_dead_nodes(dfs, machines):
+    dfs.datanode("node-3").fail()
+    writer = dfs.create("/f", machines[0])
+    writer.append(b"z" * 10)
+    block = dfs.namenode.get_file("/f").blocks[0]
+    assert "node-3" not in block.locations
+
+
+def test_reader_prefers_local_then_rack(dfs, machines):
+    dfs.create("/f", machines[0]).append(b"payload")
+    block = dfs.namenode.get_file("/f").blocks[0]
+    local = dfs.datanode(block.locations[0]).machine
+    before_remote = [
+        m.counters.get("net.bytes_received") for m in machines
+    ]
+    dfs.open("/f", local).read_all()
+    # A local read moves no bytes over the network.
+    assert local.counters.get("net.bytes_received") == before_remote[machines.index(local)]
+
+
+def test_rereplication_restores_replica_count(dfs, machines):
+    dfs.create("/f", machines[0]).append(b"replicate-me")
+    block = dfs.namenode.get_file("/f").blocks[0]
+    dfs.datanode(block.locations[0]).fail()
+    created = dfs.rereplicate()
+    assert created >= 1
+    alive_replicas = [
+        loc for loc in block.locations if dfs.datanodes[loc].alive
+    ]
+    assert len(alive_replicas) >= 3
+
+
+def test_rereplication_then_second_failure_still_readable(dfs, machines):
+    dfs.create("/f", machines[0]).append(b"precious")
+    block = dfs.namenode.get_file("/f").blocks[0]
+    original = list(block.locations)
+    dfs.datanode(original[0]).fail()
+    dfs.rereplicate()
+    dfs.datanode(original[1]).fail()  # second original dies
+    survivor_machine = next(m for m in machines if m.alive)
+    assert dfs.open("/f", survivor_machine).read_all() == b"precious"
+
+
+def test_rereplication_raises_on_total_loss(dfs, machines):
+    from repro.errors import DFSError
+    import pytest as _pytest
+
+    dfs.create("/f", machines[0]).append(b"gone")
+    block = dfs.namenode.get_file("/f").blocks[0]
+    for loc in block.locations:
+        dfs.datanode(loc).fail()
+    with _pytest.raises(DFSError):
+        dfs.rereplicate()
+
+
+def test_rereplication_noop_when_healthy(dfs, machines):
+    dfs.create("/f", machines[0]).append(b"healthy")
+    assert dfs.rereplicate() == 0

@@ -1,0 +1,131 @@
+"""LSM manifest tests: run metadata surviving restarts (LevelDB MANIFEST)."""
+
+import pytest
+
+from repro.index.lsm import LSMTreeIndex
+from repro.wal.record import LogPointer
+
+
+def ptr(n: int) -> LogPointer:
+    return LogPointer(1, n, 1)
+
+
+@pytest.fixture
+def lsm(dfs, machines):
+    return LSMTreeIndex(
+        dfs, machines[0], "/lsm/mf", memtable_bytes=24 * 8, level0_limit=3
+    )
+
+
+def fill(index, n: int, start: int = 0) -> None:
+    for i in range(start, start + n):
+        index.insert(f"k{i:03d}".encode(), i + 1, ptr(i))
+
+
+def test_manifest_written_at_merge(lsm, dfs):
+    fill(lsm, 40)  # enough for flushes + at least one merge
+    assert lsm.merges >= 1
+    assert dfs.exists("/lsm/mf/MANIFEST")
+
+
+def test_reopen_restores_merged_runs(lsm, dfs, machines):
+    fill(lsm, 40)
+    assert lsm.merges >= 1
+    lsm.flush()  # push the memtable out so runs hold everything pre-merge
+    merged_keys = {e.key for e in lsm.entries()}
+
+    reopened = LSMTreeIndex(
+        dfs, machines[0], "/lsm/mf", memtable_bytes=24 * 8, level0_limit=3
+    )
+    runs = reopened.reopen()
+    assert runs >= 1
+    # Everything covered by the manifest is back without touching the log.
+    manifest_keys = {e.key for e in reopened.entries()}
+    assert manifest_keys <= merged_keys
+    assert len(manifest_keys) > 0
+    # A manifest-covered key resolves with the original pointer.
+    sample = sorted(manifest_keys)[0]
+    assert reopened.lookup_latest(sample) is not None
+
+
+def test_reopen_without_manifest_is_noop(dfs, machines):
+    index = LSMTreeIndex(dfs, machines[1], "/lsm/none")
+    assert index.reopen() == 0
+    assert len(index) == 0
+
+
+def test_reopen_then_redo_reinserts_shadow_cleanly(lsm, dfs, machines):
+    fill(lsm, 40)
+    total = len({(e.key, e.timestamp) for e in lsm.entries()})
+    reopened = LSMTreeIndex(
+        dfs, machines[0], "/lsm/mf", memtable_bytes=24 * 64, level0_limit=3
+    )
+    reopened.reopen()
+    # Redo replays everything (manifest runs + tail); duplicates shadow.
+    fill(reopened, 40)
+    entries = {(e.key, e.timestamp) for e in reopened.entries()}
+    assert len(entries) == total
+
+
+def test_run_ids_continue_after_reopen(lsm, dfs, machines):
+    fill(lsm, 40)
+    reopened = LSMTreeIndex(
+        dfs, machines[0], "/lsm/mf", memtable_bytes=24 * 8, level0_limit=3
+    )
+    reopened.reopen()
+    existing = {run.run_id for run in reopened._runs}
+    fill(reopened, 16, start=100)  # forces new flushes
+    new_ids = {run.run_id for run in reopened._runs} - existing
+    assert new_ids and min(new_ids) > max(existing)
+
+
+def test_destroy_removes_runs_and_manifest(lsm, dfs):
+    fill(lsm, 40)
+    run_paths = [run.path for run in lsm._runs]
+    assert run_paths
+    lsm.destroy()
+    for path in run_paths:
+        assert not dfs.exists(path)
+    assert not dfs.exists("/lsm/mf/MANIFEST")
+
+
+def test_blooms_work_after_reopen(lsm, dfs, machines):
+    fill(lsm, 40)
+    reopened = LSMTreeIndex(
+        dfs, machines[0], "/lsm/mf", memtable_bytes=24 * 8, level0_limit=3
+    )
+    reopened.reopen()
+    machines[0].counters.reset()
+    assert reopened.lookup_latest(b"totally-absent") is None
+    # Restored bloom filters still short-circuit absent keys.
+    assert machines[0].counters.get("disk.reads") <= 1
+
+
+def test_lrs_server_recovery_reopens_runs(schema, small_config):
+    """End to end: a restarted LRS server reopens its LSM runs from the
+    manifest; recovery redo fills in the tail; all data readable."""
+    from repro import LogBase
+    from repro.baselines.lrs.store import make_lrs_config
+    from repro.core.recovery import recover_server
+
+    db = LogBase(3, make_lrs_config(small_config))
+    db.create_table(schema)
+    for server in db.cluster.servers:
+        for index in server.indexes().values():
+            index._memtable_limit = 24 * 8
+    keys = [str(k).zfill(12).encode() for k in range(0, 2_000_000_000, 23_000_009)]
+    client = db.client(db.cluster.machines[0])
+    for i, key in enumerate(keys):
+        client.put("events", key, {"payload": {"body": f"v{i}".encode()}})
+    victim = db.cluster.servers[0]
+    tablets = list(victim.tablets.values())
+    victim.crash()
+    victim.restart()
+    for tablet in tablets:
+        victim.assign_tablet(tablet)
+    for index in victim.indexes().values():
+        index._memtable_limit = 24 * 8
+    recover_server(victim, db.cluster.checkpoints[victim.name])
+    client.invalidate_cache()
+    for i, key in enumerate(keys):
+        assert client.get("events", key, "payload") == {"body": f"v{i}".encode()}

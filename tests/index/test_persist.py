@@ -1,0 +1,77 @@
+"""Unit tests for index file persistence (checkpoint substrate)."""
+
+import pytest
+
+from repro.errors import CorruptLogRecord
+from repro.index.blink import BLinkTreeIndex
+from repro.index.interface import IndexEntry
+from repro.index.persist import (
+    decode_entries,
+    encode_entries,
+    load_index_file,
+    write_index_file,
+)
+from repro.wal.record import LogPointer
+
+
+def entries(n: int) -> list[IndexEntry]:
+    return [
+        IndexEntry(f"k{i:04d}".encode(), i + 1, LogPointer(2, i * 64, 64))
+        for i in range(n)
+    ]
+
+
+def test_encode_decode_roundtrip():
+    original = entries(50)
+    assert decode_entries(encode_entries(original)) == original
+
+
+def test_empty_index_roundtrip():
+    assert decode_entries(encode_entries([])) == []
+
+
+def test_corruption_detected():
+    payload = bytearray(encode_entries(entries(5)))
+    payload[10] ^= 0xFF
+    with pytest.raises(CorruptLogRecord):
+        decode_entries(bytes(payload))
+
+
+def test_bad_magic_detected():
+    payload = b"XXXX" + encode_entries(entries(2))[4:]
+    with pytest.raises(CorruptLogRecord):
+        decode_entries(payload)
+
+
+def test_write_and_load_via_dfs(dfs, machines):
+    index = BLinkTreeIndex()
+    for entry in entries(40):
+        index.insert(entry.key, entry.timestamp, entry.pointer)
+    written = write_index_file(dfs, "/ckpt/idx", machines[0], index)
+    assert written > 0
+
+    restored = BLinkTreeIndex()
+    loaded = load_index_file(dfs, "/ckpt/idx", machines[1], restored)
+    assert loaded == 40
+    assert list(restored.entries()) == list(index.entries())
+
+
+def test_write_overwrites_previous_checkpoint(dfs, machines):
+    index = BLinkTreeIndex()
+    index.insert(b"a", 1, LogPointer(1, 0, 10))
+    write_index_file(dfs, "/ckpt/idx", machines[0], index)
+    index.insert(b"b", 2, LogPointer(1, 10, 10))
+    write_index_file(dfs, "/ckpt/idx", machines[0], index)
+
+    restored = BLinkTreeIndex()
+    assert load_index_file(dfs, "/ckpt/idx", machines[0], restored) == 2
+
+
+def test_load_charges_io(dfs, machines):
+    index = BLinkTreeIndex()
+    for entry in entries(100):
+        index.insert(entry.key, entry.timestamp, entry.pointer)
+    write_index_file(dfs, "/ckpt/idx", machines[0], index)
+    before = machines[1].clock.now
+    load_index_file(dfs, "/ckpt/idx", machines[1], BLinkTreeIndex())
+    assert machines[1].clock.now > before

@@ -1,0 +1,144 @@
+"""Contract tests run against BOTH index implementations (B-link and LSM).
+
+Every behaviour the tablet server relies on must hold regardless of which
+index backs it — that is what makes the LRS comparison an index-design
+comparison only.
+"""
+
+import pytest
+
+from repro.index.blink import BLinkTreeIndex
+from repro.index.lsm import LSMTreeIndex
+from repro.wal.record import LogPointer
+
+
+def ptr(n: int) -> LogPointer:
+    return LogPointer(1, n * 100, 100)
+
+
+@pytest.fixture(params=["blink", "lsm"])
+def index(request, dfs, machines):
+    if request.param == "blink":
+        return BLinkTreeIndex(order=4)
+    return LSMTreeIndex(
+        dfs, machines[0], "/lsm/test", memtable_bytes=24 * 8, level0_limit=3
+    )
+
+
+def test_empty_lookup(index):
+    assert index.lookup_latest(b"nope") is None
+    assert index.lookup_asof(b"nope", 100) is None
+    assert index.versions(b"nope") == []
+    assert len(index) == 0
+
+
+def test_insert_and_lookup_latest(index):
+    index.insert(b"k", 1, ptr(1))
+    index.insert(b"k", 5, ptr(5))
+    index.insert(b"k", 3, ptr(3))
+    latest = index.lookup_latest(b"k")
+    assert latest.timestamp == 5
+    assert latest.pointer == ptr(5)
+
+
+def test_lookup_asof_selects_floor_version(index):
+    for ts in (2, 4, 6):
+        index.insert(b"k", ts, ptr(ts))
+    assert index.lookup_asof(b"k", 5).timestamp == 4
+    assert index.lookup_asof(b"k", 4).timestamp == 4
+    assert index.lookup_asof(b"k", 1) is None
+    assert index.lookup_asof(b"k", 100).timestamp == 6
+
+
+def test_versions_ascending(index):
+    for ts in (9, 1, 5):
+        index.insert(b"k", ts, ptr(ts))
+    assert [v.timestamp for v in index.versions(b"k")] == [1, 5, 9]
+
+
+def test_reinsert_same_version_replaces_pointer(index):
+    index.insert(b"k", 1, ptr(1))
+    index.insert(b"k", 1, ptr(99))
+    assert index.lookup_latest(b"k").pointer == ptr(99)
+    assert len(index) == 1
+
+
+def test_delete_key_removes_all_versions(index):
+    for ts in (1, 2, 3):
+        index.insert(b"k", ts, ptr(ts))
+    index.insert(b"other", 1, ptr(50))
+    removed = index.delete_key(b"k")
+    assert removed == 3
+    assert index.lookup_latest(b"k") is None
+    assert index.lookup_asof(b"k", 10) is None
+    assert index.lookup_latest(b"other") is not None
+
+
+def test_delete_then_reinsert(index):
+    index.insert(b"k", 1, ptr(1))
+    index.delete_key(b"k")
+    index.insert(b"k", 9, ptr(9))
+    assert index.lookup_latest(b"k").timestamp == 9
+    # The old version must not resurface for historical reads either.
+    assert index.lookup_asof(b"k", 5) is None
+
+
+def test_range_scan_bounds(index):
+    for i in range(10):
+        index.insert(f"k{i}".encode(), 1, ptr(i))
+    found = [e.key for e in index.range_scan(b"k3", b"k7")]
+    assert found == [b"k3", b"k4", b"k5", b"k6"]
+
+
+def test_range_scan_includes_all_versions(index):
+    index.insert(b"k5", 1, ptr(1))
+    index.insert(b"k5", 2, ptr(2))
+    found = [(e.key, e.timestamp) for e in index.range_scan(b"k", b"l")]
+    assert found == [(b"k5", 1), (b"k5", 2)]
+
+
+def test_latest_in_range_picks_newest_per_key(index):
+    index.insert(b"a", 1, ptr(1))
+    index.insert(b"a", 3, ptr(3))
+    index.insert(b"b", 2, ptr(2))
+    latest = list(index.latest_in_range(b"", b"z"))
+    assert [(e.key, e.timestamp) for e in latest] == [(b"a", 3), (b"b", 2)]
+
+
+def test_latest_in_range_as_of_snapshot(index):
+    index.insert(b"a", 1, ptr(1))
+    index.insert(b"a", 9, ptr(9))
+    latest = list(index.latest_in_range(b"", b"z", as_of=5))
+    assert [(e.key, e.timestamp) for e in latest] == [(b"a", 1)]
+
+
+def test_entries_sorted_by_key_then_ts(index):
+    data = [(b"b", 2), (b"a", 5), (b"b", 1), (b"a", 3), (b"c", 1)]
+    for key, ts in data:
+        index.insert(key, ts, ptr(ts))
+    entries = [(e.key, e.timestamp) for e in index.entries()]
+    assert entries == sorted(data)
+
+
+def test_len_counts_every_version(index):
+    for i in range(20):
+        index.insert(f"k{i % 5}".encode(), i + 1, ptr(i))
+    assert len(index) == 20
+
+
+def test_memory_bytes_positive_after_inserts(index):
+    for i in range(10):
+        index.insert(f"k{i}".encode(), 1, ptr(i))
+    assert index.memory_bytes() > 0
+
+
+def test_many_entries_survive_internal_reorganization(index):
+    # Enough volume to force B-link splits / LSM flushes and merges.
+    n = 500
+    for i in range(n):
+        index.insert(f"key-{i:05d}".encode(), i + 1, ptr(i))
+    assert len(index) == n
+    for i in (0, 123, 256, n - 1):
+        entry = index.lookup_latest(f"key-{i:05d}".encode())
+        assert entry is not None
+        assert entry.pointer == ptr(i)

@@ -1,0 +1,129 @@
+"""Failure-injection integration tests: crashes at awkward moments."""
+
+import pytest
+
+from repro import ColumnGroup, LogBase, LogBaseConfig, TableSchema
+from repro.core.recovery import recover_server
+from repro.errors import ServerDownError, TransactionAborted
+
+
+@pytest.fixture
+def db(schema, small_config):
+    database = LogBase(n_nodes=4, config=small_config, n_masters=2)
+    database.create_table(schema)
+    return database
+
+
+def key_on(db, server_name: str) -> bytes:
+    master = db.cluster.master
+    for tablet in master.tablets("events"):
+        key = tablet.key_range.start or b"000000000001"
+        if master.locate("events", key)[0] == server_name:
+            return key
+    raise AssertionError(f"no tablet on {server_name}")
+
+
+def test_datanode_failure_mid_replication_stream(db):
+    """A replica dies between appends; the pipeline continues with the
+    survivors and reads keep working (Guarantee 1)."""
+    victim_server = db.cluster.servers[0]
+    key = key_on(db, victim_server.name)
+    db.put("events", key, {"payload": {"body": b"before"}})
+    # Kill a DIFFERENT machine that holds replicas of the victim's log.
+    other = db.cluster.machines[1]
+    other.fail()
+    db.cluster.servers[1].serving = False  # its tablet server dies too
+    # Victim keeps writing; the pipeline skips the dead replica.
+    db.put("events", key, {"payload": {"body": b"after"}})
+    assert db.get("events", key, "payload") == {"body": b"after"}
+
+
+def test_write_to_dead_server_raises_then_failover_recovers(db):
+    victim = db.cluster.servers[0]
+    key = key_on(db, victim.name)
+    db.put("events", key, {"payload": {"body": b"v"}})
+    victim.crash()
+    with pytest.raises(ServerDownError):
+        victim.write("events", key, {"payload": b"x"})
+    report = db.cluster.master.handle_permanent_failure(victim.name)
+    assert report.reassigned
+    client = db.client(db.cluster.machines[1])
+    assert client.get("events", key, "payload") == {"body": b"v"}
+
+
+def test_crash_during_transaction_leaves_no_partial_state(db):
+    """A participant dies mid-commit; the transaction aborts and no write
+    becomes visible anywhere (atomicity across failures)."""
+    master = db.cluster.master
+    keys = []
+    owners = set()
+    for tablet in master.tablets("events"):
+        key = tablet.key_range.start or b"000000000001"
+        owner = master.locate("events", key)[0]
+        if owner not in owners:
+            owners.add(owner)
+            keys.append((key, owner))
+        if len(keys) == 2:
+            break
+    (k1, _), (k2, owner2) = keys
+    txn = db.begin()
+    txn.write("events", k1, "payload", {"body": b"half"})
+    txn.write("events", k2, "payload", {"body": b"half"})
+    master.server(owner2).crash()
+    with pytest.raises(TransactionAborted):
+        txn.commit()
+    assert db.get("events", k1, "payload") is None
+
+
+def test_master_failover_mid_workload(db):
+    active = db.cluster.master
+    standby = next(m for m in db.cluster.masters if m is not active)
+    db.put("events", b"000000000001", {"payload": {"body": b"pre"}})
+    active.session.expire()
+    assert db.cluster.master is standby
+    # New DDL and traffic go through the promoted master.
+    db.cluster.master.create_table(
+        TableSchema("post_failover", "id", (ColumnGroup("g", ("v",)),))
+    )
+    client = db.client(db.cluster.machines[0])
+    client.put("post_failover", b"000000000001", {"g": {"v": b"x"}})
+    assert client.get("post_failover", b"000000000001", "g") == {"v": b"x"}
+
+
+def test_crash_restart_crash_restart(db):
+    """Repeated crashes between partial recoveries stay consistent (§3.8:
+    'in the event of repeated restart ... the system only needs to redo')."""
+    victim = db.cluster.servers[0]
+    key = key_on(db, victim.name)
+    manager = db.cluster.checkpoints[victim.name]
+    db.put("events", key, {"payload": {"body": b"v1"}})
+    manager.write_checkpoint()
+    db.put("events", key, {"payload": {"body": b"v2"}})
+    tablets = list(victim.tablets.values())
+    for _ in range(3):
+        victim.crash()
+        victim.restart()
+        for tablet in tablets:
+            victim.assign_tablet(tablet)
+        recover_server(victim, manager)
+    from repro.core.schema import decode_group_value
+
+    assert decode_group_value(victim.read("events", key, "payload")[1]) == {
+        "body": b"v2"
+    }
+    # Exactly two committed versions exist, not duplicates per restart.
+    versions = victim.index_for("events", key, "payload").versions(key)
+    assert len(versions) == 2
+
+
+def test_failover_of_server_with_secondary_indexes(db):
+    for server in db.cluster.servers:
+        server.create_secondary_index("events", "meta", "source")
+    victim = db.cluster.servers[0]
+    key = key_on(db, victim.name)
+    db.put("events", key, {"meta": {"source": b"web", "kind": b"k"}})
+    db.cluster.kill_server(victim.name, permanent=True)
+    new_owner, _ = db.cluster.master.locate("events", key)
+    adopter = db.cluster.master.server(new_owner)
+    adopter.create_secondary_index("events", "meta", "source")
+    assert adopter.secondary.get("events", "source").lookup_equal(b"web") == [key]

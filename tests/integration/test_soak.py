@@ -1,0 +1,125 @@
+"""Capstone soak test: every subsystem interleaved against a model.
+
+A long scripted scenario drives writes, transactions, deletes, scans,
+compaction, checkpoints, crashes, recovery, permanent failover, elastic
+scale-out/scale-back and archival on one cluster, checking the full
+key/value model after every disruptive step.  If the pieces interact
+badly, this is where it shows.
+"""
+
+import random
+
+import pytest
+
+from repro import ColumnGroup, LogBase, LogBaseConfig, TableSchema, TransactionAborted
+from repro.core.recovery import recover_server
+from repro.wal.archive import ColdStorage, LogArchiver
+
+SCHEMA = TableSchema(
+    "soak", "id", (ColumnGroup("data", ("v",)), ColumnGroup("meta", ("tag",)))
+)
+
+
+def make_key(rng: random.Random) -> bytes:
+    return str(rng.randrange(2_000_000_000)).zfill(12).encode()
+
+
+@pytest.mark.slow
+def test_full_system_soak():
+    rng = random.Random(2026)
+    db = LogBase(n_nodes=4, config=LogBaseConfig(segment_size=64 * 1024), n_masters=2)
+    db.create_table(SCHEMA, tablets_per_server=2)
+    client = db.client(db.cluster.machines[0])
+    model: dict[bytes, bytes] = {}
+
+    def verify_model() -> None:
+        client.invalidate_cache()
+        sample = rng.sample(sorted(model), min(len(model), 40)) if model else []
+        for key in sample:
+            row = client.get("soak", key, "data")
+            assert row is not None, f"lost {key!r}"
+            assert row["v"] == model[key]
+        # And spot-check scans agree on cardinality.
+        scanned = {
+            key
+            for server in db.cluster.servers
+            if server.serving
+            for key, _, _ in server.full_scan("soak", "data")
+        }
+        assert scanned == set(model)
+
+    # --- phase 1: plain load ------------------------------------------------
+    for i in range(120):
+        key = make_key(rng)
+        value = f"v{i}".encode()
+        client.put("soak", key, {"data": {"v": value}, "meta": {"tag": b"t"}})
+        model[key] = value
+    verify_model()
+
+    # --- phase 2: transactions (some conflicting) ----------------------------
+    keys = sorted(model)
+    for i in range(25):
+        a, b = rng.sample(keys, 2)
+        txn = db.begin()
+        txn.write("soak", a, "data", {"v": f"txn{i}a".encode()})
+        txn.write("soak", b, "data", {"v": f"txn{i}b".encode()})
+        try:
+            txn.commit()
+            model[a] = f"txn{i}a".encode()
+            model[b] = f"txn{i}b".encode()
+        except TransactionAborted:
+            pass
+    verify_model()
+
+    # --- phase 3: deletes -----------------------------------------------------
+    for key in rng.sample(keys, 15):
+        client.delete("soak", key)
+        model.pop(key, None)
+    verify_model()
+
+    # --- phase 4: compaction + checkpoints --------------------------------------
+    db.compact_all()
+    db.checkpoint_all()
+    verify_model()
+
+    # --- phase 5: crash + recover one server ------------------------------------
+    victim = db.cluster.servers[1]
+    tablets = list(victim.tablets.values())
+    victim.crash()
+    victim.restart()
+    for tablet in tablets:
+        victim.assign_tablet(tablet)
+    recover_server(victim, db.cluster.checkpoints[victim.name])
+    verify_model()
+
+    # --- phase 6: more writes, then permanent failover ---------------------------
+    for i in range(40):
+        key = make_key(rng)
+        client.put("soak", key, {"data": {"v": f"p6-{i}".encode()},
+                                 "meta": {"tag": b"t"}})
+        model[key] = f"p6-{i}".encode()
+    db.cluster.kill_server(db.cluster.servers[2].name, permanent=True)
+    verify_model()
+
+    # --- phase 7: elastic scale-out and scale-back --------------------------------
+    db.cluster.add_node()
+    verify_model()
+    db.cluster.remove_node(db.cluster.servers[0].name)
+    verify_model()
+
+    # --- phase 8: archive cold history ----------------------------------------------
+    db.compact_all()
+    cold = ColdStorage(n_nodes=2, network=db.cluster.machines[0].network)
+    moved = 0
+    for server in db.cluster.servers:
+        if server.serving:
+            moved += LogArchiver(server.log, cold).archive_older_than(10**9).segments_moved
+    assert moved >= 1
+    verify_model()
+
+    # --- phase 9: writes keep flowing after everything ------------------------------
+    for i in range(20):
+        key = make_key(rng)
+        client.put("soak", key, {"data": {"v": b"final"}, "meta": {"tag": b"t"}})
+        model[key] = b"final"
+    verify_model()

@@ -1,0 +1,92 @@
+"""Model-based property tests: the B-link tree against a dict oracle."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.index.blink import BLinkTreeIndex
+from repro.wal.record import LogPointer
+
+keys = st.binary(min_size=1, max_size=8)
+timestamps = st.integers(min_value=1, max_value=1000)
+
+operations = st.lists(
+    st.one_of(
+        st.tuples(st.just("insert"), keys, timestamps),
+        st.tuples(st.just("delete"), keys),
+    ),
+    max_size=120,
+)
+
+
+def apply_ops(ops):
+    tree = BLinkTreeIndex(order=4)
+    model: dict[tuple[bytes, int], LogPointer] = {}
+    counter = 0
+    for op in ops:
+        if op[0] == "insert":
+            _, key, ts = op
+            counter += 1
+            pointer = LogPointer(1, counter, 1)
+            tree.insert(key, ts, pointer)
+            model[(key, ts)] = pointer
+        else:
+            _, key = op
+            tree.delete_key(key)
+            for composite in [c for c in model if c[0] == key]:
+                del model[composite]
+    return tree, model
+
+
+@given(operations)
+@settings(max_examples=150, deadline=None)
+def test_tree_matches_model(ops):
+    tree, model = apply_ops(ops)
+    assert len(tree) == len(model)
+    entries = {(e.key, e.timestamp): e.pointer for e in tree.entries()}
+    assert entries == model
+
+
+@given(operations)
+@settings(max_examples=100, deadline=None)
+def test_structural_invariants_always_hold(ops):
+    tree, _ = apply_ops(ops)
+    tree.check_invariants()
+
+
+@given(operations, keys)
+@settings(max_examples=100, deadline=None)
+def test_lookup_latest_matches_model(ops, probe):
+    tree, model = apply_ops(ops)
+    expected = max(
+        (ts for (key, ts) in model if key == probe), default=None
+    )
+    got = tree.lookup_latest(probe)
+    if expected is None:
+        assert got is None
+    else:
+        assert got.timestamp == expected
+
+
+@given(operations, keys, timestamps)
+@settings(max_examples=100, deadline=None)
+def test_lookup_asof_matches_model(ops, probe, asof):
+    tree, model = apply_ops(ops)
+    expected = max(
+        (ts for (key, ts) in model if key == probe and ts <= asof), default=None
+    )
+    got = tree.lookup_asof(probe, asof)
+    if expected is None:
+        assert got is None
+    else:
+        assert got.timestamp == expected
+
+
+@given(operations, keys, keys)
+@settings(max_examples=100, deadline=None)
+def test_range_scan_matches_model(ops, lo, hi):
+    if lo > hi:
+        lo, hi = hi, lo
+    tree, model = apply_ops(ops)
+    expected = sorted((key, ts) for (key, ts) in model if lo <= key < hi)
+    got = [(e.key, e.timestamp) for e in tree.range_scan(lo, hi)]
+    assert got == expected

@@ -1,0 +1,130 @@
+"""Property tests over random two-transaction interleavings.
+
+Generates arbitrary interleavings of two read/write transactions over a
+small key set and checks the snapshot-isolation invariants hold on every
+schedule: reads are stable per transaction, first committer wins on
+write-write overlap, and committed state equals one of the permitted
+serializations.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import ColumnGroup, LogBase, LogBaseConfig, TableSchema
+from repro.errors import TransactionAborted
+
+SCHEMA = TableSchema("t", "k", (ColumnGroup("g", ("v",)),))
+KEYS = [b"000000000100", b"000000000200", b"000000000300"]
+
+# Each step: (txn index, op, key index). Commits are appended afterwards
+# in a generated order.
+steps = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=1),
+        st.sampled_from(["read", "write"]),
+        st.integers(min_value=0, max_value=len(KEYS) - 1),
+    ),
+    min_size=1,
+    max_size=10,
+)
+commit_order = st.permutations([0, 1])
+
+
+def fresh_db() -> LogBase:
+    db = LogBase(3, LogBaseConfig(segment_size=256 * 1024))
+    db.create_table(SCHEMA)
+    for key in KEYS:
+        db.put("t", key, {"g": {"v": b"init"}})
+    return db
+
+
+@given(steps, commit_order)
+@settings(max_examples=50, deadline=None)
+def test_reads_stable_within_transaction(ops, order):
+    """No fuzzy reads on any interleaving: a transaction that reads the
+    same key twice sees the same value, regardless of the other
+    transaction's activity in between."""
+    db = fresh_db()
+    txns = [db.begin(), db.begin()]
+    first_read: dict[tuple[int, int], bytes | None] = {}
+    for txn_idx, op, key_idx in ops:
+        txn = txns[txn_idx]
+        key = KEYS[key_idx]
+        if op == "read":
+            row = txn.read("t", key, "g")
+            value = None if row is None else row["v"]
+            slot = (txn_idx, key_idx)
+            if slot in first_read:
+                # Own writes may change the view; only check if this txn
+                # never wrote the key.
+                if ("t", key, "g") not in txn.writes:
+                    assert value == first_read[slot]
+            else:
+                if ("t", key, "g") not in txn.writes:
+                    first_read[slot] = value
+        else:
+            txn.write("t", key, "g", {"v": f"t{txn_idx}".encode()})
+    for idx in order:
+        try:
+            txns[idx].commit()
+        except TransactionAborted:
+            pass
+
+
+@given(steps, commit_order)
+@settings(max_examples=50, deadline=None)
+def test_first_committer_wins_on_overlap(ops, order):
+    """If both transactions write a common key, at most one commits."""
+    db = fresh_db()
+    txns = [db.begin(), db.begin()]
+    writes: list[set[int]] = [set(), set()]
+    for txn_idx, op, key_idx in ops:
+        txn = txns[txn_idx]
+        key = KEYS[key_idx]
+        if op == "read":
+            txn.read("t", key, "g")
+        else:
+            txn.write("t", key, "g", {"v": f"t{txn_idx}".encode()})
+            writes[txn_idx].add(key_idx)
+    outcomes = []
+    for idx in order:
+        try:
+            txns[idx].commit()
+            outcomes.append(idx)
+        except TransactionAborted:
+            pass
+    overlap = writes[0] & writes[1]
+    if overlap and all(writes):
+        assert len(outcomes) <= 1 or not overlap, (
+            f"both committed with overlapping writes {overlap}"
+        )
+    # The first committer always succeeds (no prior conflicting commit).
+    if writes[order[0]]:
+        assert order[0] in outcomes
+
+
+@given(steps, commit_order)
+@settings(max_examples=50, deadline=None)
+def test_final_state_from_committed_transactions_only(ops, order):
+    """Every key's final value was written by a committed transaction (or
+    is the initial value) — aborted writes never leak."""
+    db = fresh_db()
+    txns = [db.begin(), db.begin()]
+    for txn_idx, op, key_idx in ops:
+        txn = txns[txn_idx]
+        key = KEYS[key_idx]
+        if op == "read":
+            txn.read("t", key, "g")
+        else:
+            txn.write("t", key, "g", {"v": f"t{txn_idx}".encode()})
+    committed: set[int] = set()
+    for idx in order:
+        try:
+            txns[idx].commit()
+            committed.add(idx)
+        except TransactionAborted:
+            pass
+    allowed = {b"init"} | {f"t{idx}".encode() for idx in committed}
+    for key in KEYS:
+        value = db.get("t", key, "g")["v"]
+        assert value in allowed

@@ -1,0 +1,41 @@
+"""Predicate expression tests."""
+
+from repro.query.expressions import And, Eq, Range, conjuncts
+
+
+def test_eq_matches():
+    pred = Eq("color", b"red")
+    assert pred.matches({"color": b"red"})
+    assert not pred.matches({"color": b"blue"})
+    assert not pred.matches({})
+    assert pred.columns() == {"color"}
+
+
+def test_range_half_open():
+    pred = Range("age", b"020", b"030")
+    assert pred.matches({"age": b"020"})
+    assert pred.matches({"age": b"029"})
+    assert not pred.matches({"age": b"030"})
+    assert not pred.matches({"age": b"019"})
+    assert not pred.matches({})
+
+
+def test_and_combines():
+    pred = And(Eq("a", b"1"), Range("b", b"0", b"5"))
+    assert pred.matches({"a": b"1", "b": b"3"})
+    assert not pred.matches({"a": b"1", "b": b"7"})
+    assert not pred.matches({"a": b"2", "b": b"3"})
+    assert pred.columns() == {"a", "b"}
+
+
+def test_nested_and_flattens():
+    inner = And(Eq("a", b"1"), Eq("b", b"2"))
+    outer = And(inner, Eq("c", b"3"))
+    assert len(outer.flattened()) == 3
+
+
+def test_conjuncts_normalization():
+    assert conjuncts(None) == []
+    single = Eq("a", b"1")
+    assert conjuncts(single) == [single]
+    assert len(conjuncts(And(single, And(single, single)))) == 3

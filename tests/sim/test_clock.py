@@ -1,0 +1,44 @@
+"""Unit tests for simulated clocks."""
+
+import pytest
+
+from repro.sim.clock import SimClock, makespan
+
+
+def test_starts_at_zero():
+    assert SimClock().now == 0.0
+
+
+def test_advance_accumulates():
+    clock = SimClock()
+    clock.advance(1.5)
+    clock.advance(0.5)
+    assert clock.now == pytest.approx(2.0)
+
+
+def test_negative_advance_rejected():
+    with pytest.raises(ValueError):
+        SimClock().advance(-1)
+
+
+def test_advance_to_only_moves_forward():
+    clock = SimClock(5.0)
+    clock.advance_to(3.0)
+    assert clock.now == 5.0
+    clock.advance_to(7.0)
+    assert clock.now == 7.0
+
+
+def test_reset():
+    clock = SimClock(9.0)
+    clock.reset()
+    assert clock.now == 0.0
+
+
+def test_makespan_is_max():
+    clocks = [SimClock(1.0), SimClock(4.0), SimClock(2.0)]
+    assert makespan(clocks) == 4.0
+
+
+def test_makespan_empty():
+    assert makespan([]) == 0.0

@@ -1,0 +1,82 @@
+"""Unit tests for the disk cost model — the arithmetic the paper's
+sequential-vs-random argument rests on."""
+
+import pytest
+
+from repro.sim.clock import SimClock
+from repro.sim.disk import DiskModel, SimDisk
+
+
+@pytest.fixture
+def disk():
+    return SimDisk(SimClock(), DiskModel(seek_time=0.008, rotational_latency=0.004, bandwidth=100e6))
+
+
+def test_first_access_pays_seek(disk):
+    cost = disk.read(1, 0, 1000)
+    assert cost == pytest.approx(0.008 + 0.004 + 1000 / 100e6)
+    assert disk.counters.get("disk.seeks") == 1
+
+
+def test_contiguous_read_is_sequential(disk):
+    disk.read(1, 0, 1000)
+    cost = disk.read(1, 1000, 1000)
+    assert cost == pytest.approx(1000 / 100e6)
+    assert disk.counters.get("disk.seeks") == 1
+
+
+def test_jump_pays_seek_again(disk):
+    disk.read(1, 0, 1000)
+    disk.read(1, 50_000, 1000)
+    assert disk.counters.get("disk.seeks") == 2
+
+
+def test_file_switch_pays_seek(disk):
+    disk.read(1, 0, 1000)
+    disk.read(2, 1000, 1000)
+    assert disk.counters.get("disk.seeks") == 2
+
+
+def test_sequential_write_after_read_pays_seek(disk):
+    disk.read(1, 0, 1000)
+    disk.write(2, 0, 1000)
+    assert disk.counters.get("disk.seeks") == 2
+
+
+def test_buffered_write_never_seeks(disk):
+    disk.read(1, 0, 1000)
+    cost = disk.write_buffered(1000)
+    assert cost == pytest.approx(1000 / 100e6)
+    assert disk.counters.get("disk.seeks") == 1
+
+
+def test_buffered_write_preserves_read_head(disk):
+    disk.read(1, 0, 1000)
+    disk.write_buffered(500)
+    cost = disk.read(1, 1000, 1000)  # still sequential for the reader
+    assert cost == pytest.approx(1000 / 100e6)
+
+
+def test_clock_accumulates_costs(disk):
+    disk.read(1, 0, 1000)
+    disk.read(1, 1000, 1000)
+    assert disk.clock.now == pytest.approx(0.012 + 2000 / 100e6)
+
+
+def test_counters_track_bytes(disk):
+    disk.read(1, 0, 500)
+    disk.write_buffered(300)
+    assert disk.counters.get("disk.bytes_read") == 500
+    assert disk.counters.get("disk.bytes_written") == 300
+
+
+def test_invalidate_head_forces_seek(disk):
+    disk.read(1, 0, 100)
+    disk.invalidate_head()
+    disk.read(1, 100, 100)
+    assert disk.counters.get("disk.seeks") == 2
+
+
+def test_random_is_much_slower_than_sequential():
+    model = DiskModel()
+    assert model.random_access_cost(1000) > 100 * model.sequential_cost(1000)

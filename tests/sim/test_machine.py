@@ -1,0 +1,48 @@
+"""Unit tests for the machine abstraction and failure injection."""
+
+import pytest
+
+from repro.sim.failure import FailureInjector
+from repro.sim.machine import Machine
+
+
+def test_machine_shares_clock_with_disk():
+    machine = Machine("m0")
+    machine.disk.read(1, 0, 1000)
+    assert machine.clock.now > 0
+
+
+def test_send_remote_charges_latency_and_bandwidth():
+    a = Machine("a")
+    b = Machine("b")
+    cost = a.send(b, 125_000_000)  # one second of bandwidth at defaults
+    assert cost == pytest.approx(a.network.latency + 1.0)
+    assert a.counters.get("net.bytes_sent") == 125_000_000
+
+
+def test_send_local_is_loopback():
+    a = Machine("a")
+    assert a.send(a, 1 << 30) == pytest.approx(a.network.local_latency)
+
+
+def test_fail_and_restart():
+    machine = Machine("m")
+    machine.fail()
+    assert not machine.alive
+    machine.restart()
+    assert machine.alive
+
+
+def test_failure_injector_kills_registered_node():
+    machine = Machine("m")
+    injector = FailureInjector()
+    injector.register("m", machine)
+    injector.kill("m")
+    assert not machine.alive
+    assert injector.killed == ["m"]
+    assert injector.alive_nodes() == []
+
+
+def test_failure_injector_unknown_name():
+    with pytest.raises(KeyError):
+        FailureInjector().kill("ghost")

@@ -1,0 +1,43 @@
+"""Unit tests for the counter bag."""
+
+from repro.sim.metrics import Counters
+
+
+def test_add_and_get():
+    counters = Counters()
+    counters.add("disk.seeks")
+    counters.add("disk.seeks", 2)
+    assert counters.get("disk.seeks") == 3
+
+
+def test_missing_counter_is_zero():
+    assert Counters().get("nope") == 0.0
+
+
+def test_snapshot_is_a_copy():
+    counters = Counters()
+    counters.add("x", 5)
+    snap = counters.snapshot()
+    counters.add("x", 1)
+    assert snap == {"x": 5}
+
+
+def test_reset():
+    counters = Counters()
+    counters.add("x")
+    counters.reset()
+    assert counters.get("x") == 0.0
+    assert counters.snapshot() == {}
+
+
+def test_iteration_sorted():
+    counters = Counters()
+    counters.add("b", 2)
+    counters.add("a", 1)
+    assert list(counters) == [("a", 1.0), ("b", 2.0)]
+
+
+def test_repr_contains_values():
+    counters = Counters()
+    counters.add("hits", 3)
+    assert "hits=3" in repr(counters)

@@ -1,0 +1,25 @@
+"""Unit tests for the network cost model."""
+
+import pytest
+
+from repro.sim.network import NetworkModel
+
+
+def test_transfer_includes_latency_and_bandwidth():
+    net = NetworkModel(latency=0.001, bandwidth=1e6)
+    assert net.transfer_cost(1000) == pytest.approx(0.001 + 0.001)
+
+
+def test_local_transfer_is_loopback_only():
+    net = NetworkModel(latency=0.001, bandwidth=1e6, local_latency=1e-5)
+    assert net.transfer_cost(10_000_000, local=True) == pytest.approx(1e-5)
+
+
+def test_rpc_is_two_transfers():
+    net = NetworkModel(latency=0.001, bandwidth=1e6)
+    assert net.rpc_cost(1000, 1000) == pytest.approx(2 * (0.001 + 0.001))
+
+
+def test_bigger_payloads_cost_more():
+    net = NetworkModel()
+    assert net.transfer_cost(1 << 20) > net.transfer_cost(1 << 10)

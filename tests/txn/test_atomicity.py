@@ -1,0 +1,78 @@
+"""Guarantee 3: the commit record gates visibility (atomicity)."""
+
+import pytest
+
+from repro.wal.record import RecordType
+
+
+def test_commit_record_written_with_writes(db):
+    txn = db.begin()
+    txn.write("events", b"000000000001", "payload", {"body": b"a"})
+    txn.commit()
+    server_name, _ = db.cluster.master.locate("events", b"000000000001")
+    server = db.cluster.master.server(server_name)
+    kinds = [record.record_type for _, record in server.log.scan_all()]
+    assert RecordType.COMMIT in kinds
+    # The commit record follows the transaction's writes in the log.
+    assert kinds.index(RecordType.WRITE) < kinds.index(RecordType.COMMIT)
+
+
+def test_writes_and_commit_in_one_batch(db):
+    """§3.7.2: commit and log records are persisted in batches — one
+    replication round trip for the whole transaction."""
+    txn = db.begin()
+    key = b"000000000002"
+    txn.write("events", key, "payload", {"body": b"a"})
+    txn.write("events", key, "meta", {"source": b"s", "kind": b"k"})
+    server_name, _ = db.cluster.master.locate("events", key)
+    server = db.cluster.master.server(server_name)
+    before = server.machine.counters.get("net.messages")
+    txn.commit()
+    assert server.machine.counters.get("net.messages") - before == 1
+
+
+def test_scan_ignores_uncommitted_writes(db):
+    server = db.cluster.servers[0]
+    # Simulate a crash after the write batch but before the commit record:
+    # append transactional writes with no commit.
+    from repro.wal.record import LogRecord
+
+    tablet = list(server.tablets.values())[0]
+    key = tablet.key_range.start or b"000000000000"
+    server.append_transactional([
+        LogRecord(RecordType.WRITE, txn_id=999, table="events",
+                  tablet=str(tablet.tablet_id), key=key, group="payload",
+                  timestamp=10_000, value=b"orphan"),
+    ])
+    rows = list(server.full_scan("events", "payload"))
+    assert all(value != b"orphan" for _, _, value in rows)
+    assert server.read("events", key, "payload") is None
+
+
+def test_compaction_discards_uncommitted_writes(db):
+    server = db.cluster.servers[0]
+    from repro.wal.record import LogRecord
+
+    tablet = list(server.tablets.values())[0]
+    key = tablet.key_range.start or b"000000000000"
+    server.append_transactional([
+        LogRecord(RecordType.WRITE, txn_id=998, table="events",
+                  tablet=str(tablet.tablet_id), key=key, group="payload",
+                  timestamp=9_999, value=b"orphan"),
+    ])
+    result = server.compact()
+    assert result.stats.dropped_uncommitted == 1
+
+
+def test_all_or_nothing_across_records(db):
+    """All of a transaction's writes become visible atomically: a snapshot
+    taken at any timestamp sees either none or all of them."""
+    txn = db.begin()
+    keys = [b"000000000010", b"000000000011", b"000000000012"]
+    for key in keys:
+        txn.write("events", key, "payload", {"body": b"atomic"})
+    commit_ts = txn.commit()
+    before = [db.get("events", key, "payload", as_of=commit_ts - 1) for key in keys]
+    after = [db.get("events", key, "payload", as_of=commit_ts) for key in keys]
+    assert before == [None, None, None]
+    assert all(row == {"body": b"atomic"} for row in after)

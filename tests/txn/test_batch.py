@@ -1,0 +1,100 @@
+"""Group-commit batching tests (§3.7.2)."""
+
+import pytest
+
+from repro.txn.batch import GroupCommitter
+from repro.wal.record import LogRecord, RecordType
+from repro.wal.repository import LogRepository
+
+
+def record(i: int) -> LogRecord:
+    return LogRecord(
+        record_type=RecordType.WRITE,
+        table="t",
+        tablet="t#0",
+        key=f"k{i}".encode(),
+        group="g",
+        timestamp=i + 1,
+        value=b"v",
+    )
+
+
+@pytest.fixture
+def repo(dfs, machines):
+    return LogRepository(dfs, machines[0], "/log", segment_size=1 << 20)
+
+
+def test_rejects_bad_batch_size(repo):
+    with pytest.raises(ValueError):
+        GroupCommitter(repo, batch_size=0)
+
+
+def test_flush_at_batch_size(repo):
+    committer = GroupCommitter(repo, batch_size=4)
+    futures = [committer.submit(record(i)) for i in range(4)]
+    assert committer.flushes == 1
+    assert committer.pending == 0
+    assert all(f for f in futures)
+
+
+def test_futures_filled_with_pointers(repo):
+    committer = GroupCommitter(repo, batch_size=2)
+    f1 = committer.submit(record(0))
+    f2 = committer.submit(record(1))
+    (p1, r1), (p2, r2) = f1[0], f2[0]
+    assert repo.read(p1) == r1
+    assert repo.read(p2) == r2
+
+
+def test_manual_flush_drains_partial_batch(repo):
+    committer = GroupCommitter(repo, batch_size=100)
+    committer.submit(record(0))
+    assert committer.pending == 1
+    appended = committer.flush()
+    assert len(appended) == 1
+    assert committer.pending == 0
+
+
+def test_empty_flush_is_noop(repo):
+    committer = GroupCommitter(repo)
+    assert committer.flush() == []
+    assert committer.flushes == 0
+
+
+def test_batching_reduces_replication_rounds(repo, machines):
+    """The whole point: N records in one batch cost one round trip."""
+    unbatched = GroupCommitter(repo, batch_size=1)
+    before = machines[0].counters.get("net.messages")
+    for i in range(8):
+        unbatched.submit(record(i))
+    unbatched_msgs = machines[0].counters.get("net.messages") - before
+
+    batched = GroupCommitter(repo, batch_size=8)
+    before = machines[0].counters.get("net.messages")
+    for i in range(8, 16):
+        batched.submit(record(i))
+    batched_msgs = machines[0].counters.get("net.messages") - before
+    assert batched_msgs == 1
+    assert unbatched_msgs == 8
+
+
+def test_server_group_committer_uses_config(dfs, machines):
+    from repro.config import LogBaseConfig
+    from repro.coordination.tso import TimestampOracle
+    from repro.coordination.znodes import CoordinationService
+    from repro.core.partition import KeyRange
+    from repro.core.schema import ColumnGroup, TableSchema
+    from repro.core.tablet import Tablet, TabletId
+    from repro.core.tablet_server import TabletServer
+
+    schema = TableSchema("t", "id", (ColumnGroup("g", ("v",)),))
+    server = TabletServer(
+        "ts-gc", machines[0], dfs, TimestampOracle(CoordinationService()),
+        LogBaseConfig(group_commit_batch=4),
+    )
+    server.assign_tablet(Tablet(TabletId("t", 0), KeyRange(b"", None), schema))
+    committer = server.group_committer()
+    assert committer._batch_size == 4
+    for i in range(4):
+        committer.submit(record(i))
+    assert committer.flushes == 1

@@ -1,0 +1,97 @@
+"""Strict-serializable mode tests (§3.7.1's optional read-lock variant).
+
+"If strict serializability is required, read locks also need to be
+acquired by transactions [27], but that will affect transaction
+performance" — the mode exists, closes write skew, and costs conflicts
+that snapshot isolation would have allowed.
+"""
+
+import pytest
+
+from repro import ColumnGroup, LogBase, TableSchema, TransactionAborted
+from repro.txn.mvocc import TransactionManager
+
+X = b"000000000100"
+Y = b"000000000200"
+
+
+@pytest.fixture
+def serializable_db(schema, small_config):
+    db = LogBase(n_nodes=3, config=small_config)
+    db.create_table(schema)
+    # Swap in a strict-serializable transaction manager.
+    db.txn_manager = TransactionManager(
+        db.cluster.master, db.cluster.tso, db.cluster.coordination, serializable=True
+    )
+    db.put("events", X, {"payload": {"body": b"x0"}})
+    db.put("events", Y, {"payload": {"body": b"y0"}})
+    return db
+
+
+def test_write_skew_prevented(serializable_db):
+    """The Figure 5 cycle cannot commit on both sides any more."""
+    db = serializable_db
+    t1, t2 = db.begin(), db.begin()
+    t1.read("events", X, "payload")
+    t2.read("events", Y, "payload")
+    t1.write("events", Y, "payload", {"body": b"y1"})
+    t2.write("events", X, "payload", {"body": b"x2"})
+    t1.commit()
+    with pytest.raises(TransactionAborted):
+        t2.commit()  # t2's read of Y is stale -> serializability violated
+    assert db.get("events", Y, "payload") == {"body": b"y1"}
+    assert db.get("events", X, "payload") == {"body": b"x0"}
+
+
+def test_read_only_transactions_still_free(serializable_db):
+    db = serializable_db
+    txn = db.begin()
+    assert txn.read("events", X, "payload") == {"body": b"x0"}
+    txn.commit()
+    assert db.txn_manager.read_only_commits == 1
+
+
+def test_non_conflicting_updates_both_commit(serializable_db):
+    db = serializable_db
+    t1, t2 = db.begin(), db.begin()
+    t1.write("events", X, "payload", {"body": b"x1"})
+    t2.write("events", Y, "payload", {"body": b"y2"})
+    t1.commit()
+    t2.commit()
+    assert db.get("events", X, "payload") == {"body": b"x1"}
+    assert db.get("events", Y, "payload") == {"body": b"y2"}
+
+
+def test_read_locks_block_concurrent_writer(serializable_db):
+    """The cost the paper warns about: a reader's validation-time read
+    lock conflicts with a writer's validation."""
+    db = serializable_db
+    reader = db.begin()
+    reader.read("events", X, "payload")
+    reader.write("events", Y, "payload", {"body": b"derived-from-x"})
+    writer = db.begin()
+    writer.write("events", X, "payload", {"body": b"x-new"})
+    # Interleave: reader enters validation first (holds read lock on X).
+    manager = db.txn_manager
+    manager._acquire_locks(reader)
+    with pytest.raises(TransactionAborted):
+        manager._acquire_locks(writer)
+    manager._release_locks(reader)
+    manager.abort(writer)
+    reader.commit()
+    assert db.get("events", Y, "payload") == {"body": b"derived-from-x"}
+
+
+def test_snapshot_mode_still_allows_write_skew(db):
+    """Control: the default (snapshot isolation) manager permits the same
+    history that serializable mode refuses."""
+    db.put("events", X, {"payload": {"body": b"x0"}})
+    db.put("events", Y, {"payload": {"body": b"y0"}})
+    t1, t2 = db.begin(), db.begin()
+    t1.read("events", X, "payload")
+    t2.read("events", Y, "payload")
+    t1.write("events", Y, "payload", {"body": b"y1"})
+    t2.write("events", X, "payload", {"body": b"x2"})
+    t1.commit()
+    t2.commit()  # allowed under SI
+    assert db.get("events", X, "payload") == {"body": b"x2"}

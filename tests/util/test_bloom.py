@@ -1,0 +1,58 @@
+"""Unit tests for the Bloom filter."""
+
+import pytest
+
+from repro.util.bloom import BloomFilter
+
+
+def test_rejects_bad_parameters():
+    with pytest.raises(ValueError):
+        BloomFilter(0)
+    with pytest.raises(ValueError):
+        BloomFilter(10, fp_rate=1.5)
+
+
+def test_no_false_negatives():
+    filt = BloomFilter(1000, fp_rate=0.01)
+    keys = [f"key-{i}".encode() for i in range(1000)]
+    for key in keys:
+        filt.add(key)
+    assert all(filt.might_contain(key) for key in keys)
+
+
+def test_false_positive_rate_reasonable():
+    filt = BloomFilter(1000, fp_rate=0.01)
+    for i in range(1000):
+        filt.add(f"present-{i}".encode())
+    false_positives = sum(
+        filt.might_contain(f"absent-{i}".encode()) for i in range(5000)
+    )
+    # Allow generous slack over the 1% design point.
+    assert false_positives / 5000 < 0.05
+
+
+def test_empty_filter_contains_nothing():
+    filt = BloomFilter(100)
+    assert not filt.might_contain(b"anything")
+
+
+def test_len_tracks_additions():
+    filt = BloomFilter(10)
+    filt.add(b"a")
+    filt.add(b"b")
+    assert len(filt) == 2
+
+
+def test_serialization_roundtrip():
+    filt = BloomFilter(50, fp_rate=0.02)
+    for i in range(50):
+        filt.add(f"k{i}".encode())
+    restored = BloomFilter.from_bytes(filt.to_bytes(), filt.num_hashes, count=50)
+    assert all(restored.might_contain(f"k{i}".encode()) for i in range(50))
+    assert restored.num_bits == filt.size_bytes * 8
+
+
+def test_sizing_scales_with_items():
+    small = BloomFilter(100)
+    large = BloomFilter(10000)
+    assert large.num_bits > small.num_bits

@@ -1,0 +1,38 @@
+"""Unit tests for CRC-32C."""
+
+from repro.util.crc import crc32c
+
+
+def test_empty_is_zero():
+    assert crc32c(b"") == 0
+
+
+def test_known_vector():
+    # RFC 3720 appendix test vector: 32 zero bytes.
+    assert crc32c(b"\x00" * 32) == 0x8A9136AA
+
+
+def test_known_vector_ones():
+    assert crc32c(b"\xff" * 32) == 0x62A8AB43
+
+
+def test_known_vector_ascending():
+    assert crc32c(bytes(range(32))) == 0x46DD794E
+
+
+def test_incremental_matches_whole():
+    data = b"the quick brown fox jumps over the lazy dog" * 3
+    whole = crc32c(data)
+    partial = crc32c(data[20:], crc32c(data[:20]))
+    assert whole == partial
+
+
+def test_detects_single_bit_flip():
+    data = bytearray(b"some block payload")
+    original = crc32c(bytes(data))
+    data[5] ^= 0x01
+    assert crc32c(bytes(data)) != original
+
+
+def test_different_inputs_differ():
+    assert crc32c(b"abc") != crc32c(b"abd")

@@ -1,0 +1,96 @@
+"""Unit tests for the bounded cache and replacement policies."""
+
+import pytest
+
+from repro.util.lru import FIFOPolicy, LRUCache, LRUPolicy
+
+
+def test_requires_some_capacity():
+    with pytest.raises(ValueError):
+        LRUCache()
+
+
+def test_byte_capacity_requires_sizer():
+    with pytest.raises(ValueError):
+        LRUCache(byte_capacity=100)
+
+
+def test_basic_put_get():
+    cache = LRUCache(capacity=2)
+    cache.put("a", 1)
+    assert cache.get("a") == 1
+    assert cache.hits == 1
+    assert cache.get("b") is None
+    assert cache.misses == 1
+
+
+def test_lru_evicts_least_recent():
+    cache = LRUCache(capacity=2)
+    cache.put("a", 1)
+    cache.put("b", 2)
+    cache.get("a")          # a is now most recent
+    cache.put("c", 3)       # evicts b
+    assert "b" not in cache
+    assert cache.get("a") == 1
+    assert cache.get("c") == 3
+    assert cache.evictions == 1
+
+
+def test_fifo_ignores_access_order():
+    cache = LRUCache(capacity=2, policy=FIFOPolicy())
+    cache.put("a", 1)
+    cache.put("b", 2)
+    cache.get("a")          # does not protect a under FIFO
+    cache.put("c", 3)       # evicts a (oldest inserted)
+    assert "a" not in cache
+    assert "b" in cache
+
+
+def test_byte_capacity_eviction():
+    cache = LRUCache(byte_capacity=10, sizer=len)
+    cache.put("a", b"xxxx")
+    cache.put("b", b"yyyy")
+    assert cache.bytes_used == 8
+    cache.put("c", b"zzzz")  # 12 bytes total -> evict until <= 10
+    assert cache.bytes_used <= 10
+    assert "a" not in cache
+
+
+def test_replace_updates_bytes():
+    cache = LRUCache(byte_capacity=100, sizer=len)
+    cache.put("a", b"xx")
+    cache.put("a", b"xxxxxx")
+    assert cache.bytes_used == 6
+    assert len(cache) == 1
+
+
+def test_remove_and_clear():
+    cache = LRUCache(capacity=4)
+    cache.put("a", 1)
+    cache.put("b", 2)
+    cache.remove("a")
+    assert "a" not in cache
+    cache.clear()
+    assert len(cache) == 0
+
+
+def test_peek_does_not_count():
+    cache = LRUCache(capacity=2)
+    cache.put("a", 1)
+    assert cache.peek("a") == 1
+    assert cache.hits == 0 and cache.misses == 0
+
+
+def test_oversized_value_evicts_itself_only_if_over():
+    cache = LRUCache(byte_capacity=3, sizer=len)
+    cache.put("big", b"xxxxxx")
+    # A single value larger than capacity cannot be kept.
+    assert len(cache) == 0
+
+
+def test_policy_victim_order_after_removal():
+    policy = LRUPolicy()
+    policy.on_insert("a")
+    policy.on_insert("b")
+    policy.on_remove("a")
+    assert policy.victim() == "b"

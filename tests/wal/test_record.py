@@ -1,0 +1,117 @@
+"""Unit tests for the log record codec."""
+
+import pytest
+
+from repro.errors import CorruptLogRecord
+from repro.wal.record import (
+    LogPointer,
+    LogRecord,
+    RecordType,
+    abort_record,
+    commit_record,
+)
+
+
+def sample_record(**overrides) -> LogRecord:
+    fields = dict(
+        record_type=RecordType.WRITE,
+        lsn=42,
+        txn_id=7,
+        table="events",
+        tablet="events#0",
+        key=b"000000000123",
+        group="payload",
+        timestamp=99,
+        value=b"the value",
+    )
+    fields.update(overrides)
+    return LogRecord(**fields)
+
+
+def test_roundtrip_full():
+    record = sample_record()
+    decoded, offset = LogRecord.decode(record.encode())
+    assert decoded == record
+    assert offset == record.encoded_size()
+
+
+def test_roundtrip_null_value():
+    record = sample_record(record_type=RecordType.INVALIDATE, value=None)
+    decoded, _ = LogRecord.decode(record.encode())
+    assert decoded.value is None
+    assert decoded.is_delete
+
+
+def test_roundtrip_empty_key_and_value():
+    record = sample_record(key=b"", value=b"")
+    decoded, _ = LogRecord.decode(record.encode())
+    assert decoded.key == b"" and decoded.value == b""
+
+
+def test_slim_layout_omits_table_metadata():
+    record = sample_record()
+    slim = record.encode(slim=True)
+    full = record.encode()
+    assert len(slim) < len(full)
+    decoded, _ = LogRecord.decode(slim)
+    assert decoded.table == "" and decoded.group == ""
+    assert decoded.key == record.key and decoded.value == record.value
+
+
+def test_checksum_detects_corruption():
+    encoded = bytearray(sample_record().encode())
+    encoded[-1] ^= 0xFF
+    with pytest.raises(CorruptLogRecord):
+        LogRecord.decode(bytes(encoded))
+
+
+def test_truncated_header_rejected():
+    encoded = sample_record().encode()
+    with pytest.raises(CorruptLogRecord):
+        LogRecord.decode(encoded[:4])
+
+
+def test_truncated_body_rejected():
+    encoded = sample_record().encode()
+    with pytest.raises(CorruptLogRecord):
+        LogRecord.decode(encoded[: len(encoded) - 3])
+
+
+def test_multiple_records_in_buffer():
+    r1, r2 = sample_record(lsn=1), sample_record(lsn=2, key=b"other")
+    buf = r1.encode() + r2.encode()
+    d1, pos = LogRecord.decode(buf)
+    d2, pos = LogRecord.decode(buf, pos)
+    assert (d1.lsn, d2.lsn) == (1, 2)
+    assert pos == len(buf)
+
+
+def test_with_lsn_replaces_only_lsn():
+    record = sample_record(lsn=0)
+    stamped = record.with_lsn(77)
+    assert stamped.lsn == 77
+    assert stamped.key == record.key and stamped.value == record.value
+
+
+def test_commit_record_shape():
+    record = commit_record(txn_id=5, commit_ts=123)
+    assert record.record_type is RecordType.COMMIT
+    assert record.txn_id == 5 and record.timestamp == 123
+    assert record.value is None
+
+
+def test_abort_record_shape():
+    record = abort_record(9)
+    assert record.record_type is RecordType.ABORT
+    assert record.txn_id == 9
+
+
+def test_pointer_ordering():
+    assert LogPointer(1, 100, 10) < LogPointer(1, 200, 10)
+    assert LogPointer(1, 900, 10) < LogPointer(2, 0, 10)
+
+
+def test_unicode_table_names_roundtrip():
+    record = sample_record(table="événements", group="payload-β")
+    decoded, _ = LogRecord.decode(record.encode())
+    assert decoded.table == "événements" and decoded.group == "payload-β"

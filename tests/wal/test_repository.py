@@ -1,0 +1,111 @@
+"""Unit tests for the log repository: appends, reads, segments, LSNs."""
+
+import pytest
+
+from repro.errors import InvalidLogPointer
+from repro.wal.record import LogRecord, RecordType
+from repro.wal.repository import LogRepository
+
+
+def write_record(key: bytes, value: bytes, ts: int = 1) -> LogRecord:
+    return LogRecord(
+        record_type=RecordType.WRITE,
+        table="t",
+        tablet="t#0",
+        key=key,
+        group="g",
+        timestamp=ts,
+        value=value,
+    )
+
+
+@pytest.fixture
+def repo(dfs, machines):
+    return LogRepository(dfs, machines[0], "/logbase/ts-0/log", segment_size=4096)
+
+
+def test_append_assigns_increasing_lsns(repo):
+    _, r1 = repo.append(write_record(b"a", b"1"))
+    _, r2 = repo.append(write_record(b"b", b"2"))
+    assert r2.lsn == r1.lsn + 1
+
+
+def test_append_then_read_back(repo):
+    pointer, stamped = repo.append(write_record(b"key", b"value"))
+    read = repo.read(pointer)
+    assert read == stamped
+
+
+def test_batch_append_is_one_dfs_write(repo, machines):
+    records = [write_record(str(i).encode(), b"v") for i in range(10)]
+    messages_before = machines[0].counters.get("net.messages")
+    pairs = repo.append_batch(records)
+    messages_after = machines[0].counters.get("net.messages")
+    # One replication round for the whole batch (group commit).
+    assert messages_after - messages_before == 1
+    for pointer, stamped in pairs:
+        assert repo.read(pointer) == stamped
+
+
+def test_segments_roll_at_size(repo):
+    big_value = b"x" * 1500
+    for i in range(6):
+        repo.append(write_record(str(i).encode(), big_value))
+    assert len(repo.segments()) >= 2
+
+
+def test_scan_all_returns_in_order(repo):
+    appended = [repo.append(write_record(str(i).encode(), b"v"))[1] for i in range(20)]
+    scanned = [record for _, record in repo.scan_all()]
+    assert scanned == appended
+
+
+def test_scan_from_start_pointer(repo):
+    for i in range(5):
+        repo.append(write_record(str(i).encode(), b"v"))
+    marker = repo.end_pointer()
+    repo.append(write_record(b"after", b"v"))
+    tail = [record.key for _, record in repo.scan_all(start=marker)]
+    assert tail == [b"after"]
+
+
+def test_end_pointer_after_roll(repo):
+    repo.append(write_record(b"k", b"v"))
+    repo.roll()
+    marker = repo.end_pointer()
+    repo.append(write_record(b"post-roll", b"v"))
+    tail = [record.key for _, record in repo.scan_all(start=marker)]
+    assert tail == [b"post-roll"]
+
+
+def test_invalid_pointer_rejected(repo):
+    from repro.wal.record import LogPointer
+
+    with pytest.raises(InvalidLogPointer):
+        repo.read(LogPointer(99, 0, 10))
+
+
+def test_total_bytes_grows(repo):
+    before = repo.total_bytes()
+    repo.append(write_record(b"k", b"v" * 100))
+    assert repo.total_bytes() > before
+
+
+def test_reattach_sees_existing_segments(repo, dfs, machines):
+    for i in range(3):
+        repo.append(write_record(str(i).encode(), b"v"))
+    attached = LogRepository.reattach(dfs, machines[1], "/logbase/ts-0/log")
+    assert attached.segments() == repo.segments()
+    scanned = [record.key for _, record in attached.scan_all()]
+    assert scanned == [b"0", b"1", b"2"]
+
+
+def test_set_next_lsn_only_forward(repo):
+    repo.set_next_lsn(100)
+    assert repo.next_lsn == 100
+    repo.set_next_lsn(50)
+    assert repo.next_lsn == 100
+
+
+def test_empty_batch_is_noop(repo):
+    assert repo.append_batch([]) == []
