@@ -1,0 +1,205 @@
+"""Hot-path read benchmark: the read pipeline vs the seed read path.
+
+Runs the Figure 10-style experiment — warm range scans over a
+shuffle-loaded (unclustered) single-server log — twice with identical
+seeds: once with the seed configuration (no block cache, per-pointer
+reads, no prefetch) and once with ``LogBaseConfig.with_read_pipeline()``
+(per-machine block cache + pointer-coalesced batch reads + scan
+prefetch).  Unlike the figure benches, caches are *not* dropped between
+scans: the point is the steady-state cost of repeated reads over a warm
+working set.
+
+Reports simulated disk seeks, simulated seconds, and Python wall-clock
+per phase (uncompacted and compacted log), and appends a run entry to
+``BENCH_read_pipeline.json`` at the repo root so the seek-reduction
+trajectory is tracked across commits.
+
+Run directly (``python benchmarks/bench_hotpath_read.py [--smoke]``) or
+via pytest, which asserts the >= 2x seek-reduction acceptance bar.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import random
+import time
+
+from conftest import RECORD_SIZE, load_keys_single_server
+from repro.bench.adapters import LogBaseAdapter, make_logbase
+from repro.config import LogBaseConfig
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+TRAJECTORY = REPO_ROOT / "BENCH_read_pipeline.json"
+
+DEFAULT_RECORDS = 2000
+DEFAULT_SCANS = 24
+SMOKE_RECORDS = 600
+SMOKE_SCANS = 8
+RANGE_SIZE = 80  # tuples returned per scan, the Fig. 10 mid-range point
+
+PHASE_COUNTERS = {
+    "disk_seeks": "disk.seeks",
+    "disk_bytes_read": "disk.bytes_read",
+    "blockcache_hits": "blockcache.hits",
+    "blockcache_misses": "blockcache.misses",
+    "read_many_records": "log.read_many.records",
+    "read_many_spans": "log.read_many.spans",
+}
+
+
+def build_adapter(records: int, *, pipeline: bool) -> LogBaseAdapter:
+    """A single-server 3-node LogBase, segment size scaled to the dataset
+    (as in ``micro_pair``), with or without the read pipeline."""
+    total = max(records * RECORD_SIZE, 64 * 1024)
+    config = (
+        LogBaseConfig.with_read_pipeline(segment_size=total * 2)
+        if pipeline
+        else LogBaseConfig(segment_size=total * 2)
+    )
+    return make_logbase(
+        3,
+        records_per_node=records,
+        record_size=RECORD_SIZE,
+        config=config,
+        single_server=True,
+    )
+
+
+def run_scan_phase(
+    adapter: LogBaseAdapter,
+    keys: list[bytes],
+    *,
+    scans: int,
+    seed: int = 5,
+) -> dict[str, float]:
+    """``scans`` warm range scans (caches are kept between scans)."""
+    rng = random.Random(seed)
+    adapter.reset_clocks()
+    before = adapter.cluster.total_counters()
+    wall_start = time.perf_counter()
+    simulated = 0.0
+    rows = 0
+    for _ in range(scans):
+        start_idx = rng.randrange(max(1, len(keys) - RANGE_SIZE))
+        start = keys[start_idx]
+        end = keys[min(start_idx + RANGE_SIZE, len(keys) - 1)]
+        returned, seconds = adapter.range_scan(0, start, end)
+        rows += returned
+        simulated += seconds
+    wall = time.perf_counter() - wall_start
+    after = adapter.cluster.total_counters()
+    phase = {
+        name: after.get(counter, 0.0) - before.get(counter, 0.0)
+        for name, counter in PHASE_COUNTERS.items()
+    }
+    phase.update(rows=rows, simulated_seconds=simulated, wall_seconds=wall)
+    return phase
+
+
+def run_experiment(
+    records: int = DEFAULT_RECORDS, scans: int = DEFAULT_SCANS
+) -> dict:
+    """The full on/off comparison; identical workload seeds per arm."""
+    results: dict = {"records": records, "scans": scans, "range_size": RANGE_SIZE}
+    for label, pipeline in (("baseline", False), ("pipeline", True)):
+        adapter = build_adapter(records, pipeline=pipeline)
+        # Random arrival order leaves the log unclustered (Fig. 10 setup).
+        keys, _ = load_keys_single_server(adapter, records, shuffle=True)
+        adapter.drop_caches()
+        arm = {"uncompacted": run_scan_phase(adapter, keys, scans=scans)}
+        adapter.compact_all()
+        adapter.drop_caches()
+        arm["compacted"] = run_scan_phase(adapter, keys, scans=scans)
+        results[label] = arm
+    for phase in ("uncompacted", "compacted"):
+        base = results["baseline"][phase]["disk_seeks"]
+        piped = results["pipeline"][phase]["disk_seeks"]
+        results[f"seek_reduction_{phase}"] = base / piped if piped else float("inf")
+    return results
+
+
+def format_report(results: dict) -> str:
+    lines = [
+        f"Hot-path read pipeline ({results['records']} records, "
+        f"{results['scans']} scans x {results['range_size']} tuples)",
+        f"{'phase':<14} {'arm':<10} {'seeks':>8} {'sim s':>10} "
+        f"{'wall s':>8} {'bc hit%':>8} {'spans':>7}",
+    ]
+    for phase in ("uncompacted", "compacted"):
+        for arm in ("baseline", "pipeline"):
+            p = results[arm][phase]
+            lookups = p["blockcache_hits"] + p["blockcache_misses"]
+            hit_rate = p["blockcache_hits"] / lookups if lookups else 0.0
+            lines.append(
+                f"{phase:<14} {arm:<10} {p['disk_seeks']:>8.0f} "
+                f"{p['simulated_seconds']:>10.4f} {p['wall_seconds']:>8.3f} "
+                f"{hit_rate:>8.0%} {p['read_many_spans']:>7.0f}"
+            )
+        lines.append(
+            f"{phase:<14} seek reduction: "
+            f"{results[f'seek_reduction_{phase}']:.1f}x"
+        )
+    return "\n".join(lines)
+
+
+def append_trajectory(results: dict) -> None:
+    history = []
+    if TRAJECTORY.exists():
+        history = json.loads(TRAJECTORY.read_text())
+    history.append({"timestamp": time.time(), **results})
+    TRAJECTORY.write_text(json.dumps(history, indent=2) + "\n")
+
+
+# -- pytest entry point -----------------------------------------------------------
+
+
+def test_hotpath_read_pipeline():
+    results = run_experiment(records=800, scans=10)
+    for phase in ("uncompacted", "compacted"):
+        base = results["baseline"][phase]
+        piped = results["pipeline"][phase]
+        # Same workload, same answers.
+        assert piped["rows"] == base["rows"]
+        # Never worse than the seed path, even on a clustered log.
+        assert piped["disk_seeks"] <= base["disk_seeks"]
+        assert piped["simulated_seconds"] < base["simulated_seconds"]
+        # Coalescing really engaged: many records per span read.
+        assert 0 < piped["read_many_spans"] < piped["read_many_records"]
+    # The acceptance bar: warm scans over the unclustered log pay at
+    # least 2x fewer simulated seeks with the pipeline on.
+    assert results["seek_reduction_uncompacted"] >= 2.0, (
+        f"expected >=2x seek reduction, got "
+        f"{results['seek_reduction_uncompacted']:.2f}x"
+    )
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke", action="store_true", help="small sizes for CI smoke runs"
+    )
+    parser.add_argument("--records", type=int, default=None)
+    parser.add_argument("--scans", type=int, default=None)
+    args = parser.parse_args()
+    records = (
+        args.records
+        if args.records is not None
+        else (SMOKE_RECORDS if args.smoke else DEFAULT_RECORDS)
+    )
+    scans = (
+        args.scans
+        if args.scans is not None
+        else (SMOKE_SCANS if args.smoke else DEFAULT_SCANS)
+    )
+    if records < 1 or scans < 1:
+        parser.error("--records and --scans must be >= 1")
+    results = run_experiment(records=records, scans=scans)
+    print(format_report(results))
+    append_trajectory(results)
+    print(f"\ntrajectory appended to {TRAJECTORY}")
+
+
+if __name__ == "__main__":
+    main()

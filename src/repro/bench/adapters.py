@@ -174,6 +174,7 @@ class LogBaseAdapter(SystemAdapter):
         for server in self.cluster.servers:
             if server.read_cache is not None:
                 server.read_cache.clear()
+        self.cluster.dfs.drop_block_caches()
         for machine in self.cluster.machines:
             machine.disk.invalidate_head()
 

@@ -33,6 +33,24 @@ class LogBaseConfig:
             automatic index flushes (0 disables automatic checkpoints).
         read_cache_enabled: whether servers keep a read buffer at all
             (it is "only an optional component", §3.6.2).
+        block_cache_enabled: whether each machine keeps an LRU cache of
+            block-sized chunks between the DFS reader and the simulated
+            disk.  Off by default so the seed Fig. 6-10 cost-model results
+            are reproduced exactly; enable it (or use
+            :meth:`with_read_pipeline`) for the hot read path.
+        block_cache_heap_fraction: share of heap for the DFS block cache.
+        block_cache_chunk: bytes per cached chunk (the unit of cache fill
+            and eviction; one miss reads one chunk from the datanode).
+        read_coalesce_gap: ``None`` disables batch-read coalescing (seed
+            behaviour: one DFS read per pointer).  Otherwise, pointers
+            sorted by offset whose gap is at most this many bytes are
+            merged into a single DFS read by ``LogRepository.read_many``.
+        read_batch_size: index entries fetched per ``read_many`` window
+            during range scans (only used when coalescing is enabled).
+        scan_prefetch_bytes: read-ahead window for sequential segment
+            scans; 0 reads the whole segment in one request (seed
+            behaviour), a positive value streams the scan in windows of
+            this many bytes.
         group_commit_batch: max records buffered per group-commit flush.
         index_kind: ``"blink"`` (in-memory) or ``"lsm"`` (spill to DFS).
         max_versions: versions kept per key by compaction (None = all).
@@ -49,6 +67,12 @@ class LogBaseConfig:
     cache_heap_fraction: float = 0.20
     checkpoint_update_threshold: int = 0
     read_cache_enabled: bool = True
+    block_cache_enabled: bool = False
+    block_cache_heap_fraction: float = 0.10
+    block_cache_chunk: int = 64 * 1024
+    read_coalesce_gap: int | None = None
+    read_batch_size: int = 256
+    scan_prefetch_bytes: int = 0
     group_commit_batch: int = 16
     index_kind: str = "blink"
     max_versions: int | None = None
@@ -66,13 +90,47 @@ class LogBaseConfig:
         """Heap bytes available for the read cache."""
         return int(self.heap_bytes * self.cache_heap_fraction)
 
+    @property
+    def block_cache_budget_bytes(self) -> int:
+        """Heap bytes available for the per-machine DFS block cache."""
+        return int(self.heap_bytes * self.block_cache_heap_fraction)
+
+    @classmethod
+    def with_read_pipeline(cls, **overrides) -> "LogBaseConfig":
+        """A config with the full log read pipeline enabled: DFS block
+        cache, pointer-coalesced batch reads, and scan prefetch.
+
+        The defaults of the plain constructor keep all three off so the
+        seed benchmarks reproduce the paper's cost model unchanged; this
+        preset is the production-leaning configuration the hot-path
+        benchmarks (``bench_hotpath_read``) measure.
+        """
+        settings: dict = {
+            "block_cache_enabled": True,
+            "read_coalesce_gap": 64 * 1024,
+            "scan_prefetch_bytes": 1 * MiB,
+        }
+        settings.update(overrides)
+        return cls(**settings)
+
     def validate(self) -> None:
         """Raise ValueError on inconsistent settings."""
         if self.replication < 1:
             raise ValueError("replication must be >= 1")
-        if not 0.0 <= self.index_heap_fraction + self.cache_heap_fraction <= 1.0:
+        fractions = self.index_heap_fraction + self.cache_heap_fraction
+        if self.block_cache_enabled:
+            fractions += self.block_cache_heap_fraction
+        if not 0.0 <= fractions <= 1.0:
             raise ValueError("heap fractions exceed the heap")
         if self.index_kind not in ("blink", "lsm"):
             raise ValueError(f"unknown index kind {self.index_kind!r}")
         if self.max_versions is not None and self.max_versions < 1:
             raise ValueError("max_versions must be >= 1 or None")
+        if self.block_cache_chunk < 1:
+            raise ValueError("block_cache_chunk must be >= 1")
+        if self.read_coalesce_gap is not None and self.read_coalesce_gap < 0:
+            raise ValueError("read_coalesce_gap must be >= 0 or None")
+        if self.read_batch_size < 1:
+            raise ValueError("read_batch_size must be >= 1")
+        if self.scan_prefetch_bytes < 0:
+            raise ValueError("scan_prefetch_bytes must be >= 0")

@@ -51,6 +51,12 @@ class LogBaseCluster:
             self.machines,
             replication=self.config.replication,
             block_size=self.config.dfs_block_size,
+            block_cache_bytes=(
+                self.config.block_cache_budget_bytes
+                if self.config.block_cache_enabled
+                else 0
+            ),
+            block_cache_chunk=self.config.block_cache_chunk,
         )
         self.coordination = CoordinationService()
         self.tso = TimestampOracle(self.coordination)

@@ -44,6 +44,7 @@ class ServerStats:
     index_memory_bytes: int
     secondary_indexes: int
     cache: CacheStats | None
+    block_cache: CacheStats | None = None
     counters: dict[str, float] = field(default_factory=dict)
 
 
@@ -68,6 +69,15 @@ def collect_server_stats(server: TabletServer) -> ServerStats:
             bytes_used=server.read_cache.bytes_used,
             entries=len(server.read_cache),
         )
+    block_cache = None
+    dfs_cache = server.dfs.block_cache_for(server.machine)
+    if dfs_cache is not None:
+        block_cache = CacheStats(
+            hits=dfs_cache.hits,
+            misses=dfs_cache.misses,
+            bytes_used=dfs_cache.bytes_used,
+            entries=len(dfs_cache),
+        )
     return ServerStats(
         name=server.name,
         serving=server.serving,
@@ -80,6 +90,7 @@ def collect_server_stats(server: TabletServer) -> ServerStats:
         index_memory_bytes=server.index_memory_bytes(),
         secondary_indexes=len(server.secondary.indexes()),
         cache=cache,
+        block_cache=block_cache,
         counters=server.machine.counters.snapshot(),
     )
 
@@ -111,13 +122,28 @@ def format_stats(stats: ClusterStats) -> str:
             if server.cache is not None
             else "no cache"
         )
+        block_cache = (
+            f"blockcache {server.block_cache.hit_rate:.0%} hit"
+            f"/{server.block_cache.bytes_used:,}B"
+            if server.block_cache is not None
+            else "no blockcache"
+        )
         lines.append(
             f"  {server.name} [{state}] tablets={server.tablets} "
             f"log={server.log_bytes:,}B/{server.log_segments}seg "
             f"index={server.index_entries:,}e/{server.index_memory_bytes:,}B "
-            f"{cache} lsn={server.next_lsn}"
+            f"{cache} {block_cache} lsn={server.next_lsn}"
         )
-    interesting = ("disk.bytes_written", "disk.bytes_read", "disk.seeks", "net.messages")
+    interesting = (
+        "disk.bytes_written",
+        "disk.bytes_read",
+        "disk.seeks",
+        "net.messages",
+        "blockcache.hits",
+        "blockcache.misses",
+        "log.read_many.records",
+        "log.read_many.spans",
+    )
     totals = "  ".join(
         f"{name}={stats.counters.get(name, 0):,.0f}" for name in interesting
     )

@@ -10,6 +10,8 @@ which is the design removing the WAL+Data write bottleneck.
 
 from __future__ import annotations
 
+from itertools import islice
+
 from repro.config import LogBaseConfig
 from repro.coordination.tso import TimestampOracle
 from repro.core.read_cache import ReadCache
@@ -46,7 +48,12 @@ class TabletServer:
         self.config = config if config is not None else LogBaseConfig()
         self.config.validate()
         self.log = LogRepository(
-            dfs, machine, f"/logbase/{name}/log", self.config.segment_size
+            dfs,
+            machine,
+            f"/logbase/{name}/log",
+            self.config.segment_size,
+            coalesce_gap=self.config.read_coalesce_gap,
+            scan_prefetch=self.config.scan_prefetch_bytes,
         )
         self.tablets: dict[str, Tablet] = {}
         self._indexes: dict[IndexKey, MultiversionIndex] = {}
@@ -83,7 +90,12 @@ class TabletServer:
         """Bring the process back up with empty memory.  The caller runs
         recovery (:mod:`repro.core.recovery`) to rebuild the indexes."""
         self.log = LogRepository.reattach(
-            self.dfs, self.machine, f"/logbase/{self.name}/log", self.config.segment_size
+            self.dfs,
+            self.machine,
+            f"/logbase/{self.name}/log",
+            self.config.segment_size,
+            coalesce_gap=self.config.read_coalesce_gap,
+            scan_prefetch=self.config.scan_prefetch_bytes,
         )
         if self.config.read_cache_enabled:
             self.read_cache = ReadCache(self.config.cache_budget_bytes)
@@ -194,12 +206,14 @@ class TabletServer:
         """
         self._require_serving()
         records: list[LogRecord] = []
+        tablets: list[Tablet] = []  # routed once; reused in the apply loop
         timestamps: list[int] = []
         for key, group_values in items:
             tablet = self._route(table, key)
             timestamp = self.tso.next_timestamp()
             timestamps.append(timestamp)
             for group, value in group_values.items():
+                tablets.append(tablet)
                 records.append(
                     LogRecord(
                         record_type=RecordType.WRITE,
@@ -212,8 +226,8 @@ class TabletServer:
                         value=value,
                     )
                 )
-        for pointer, record in self.log.append_batch(records):
-            self._apply_write(self._route(record.table, record.key), record, pointer)
+        for (pointer, record), tablet in zip(self.log.append_batch(records), tablets):
+            self._apply_write(tablet, record, pointer)
         return timestamps
 
     def group_committer(self):
@@ -370,17 +384,38 @@ class TabletServer:
         log; before compaction those are scattered random reads, after
         compaction the pointers are clustered so consecutive reads become
         sequential — exactly the Figure 10 effect.
+
+        With coalescing enabled (``read_coalesce_gap``) the pointers are
+        drained in windows of ``read_batch_size`` entries and fetched via
+        :meth:`LogRepository.read_many`, which merges near-adjacent
+        pointers into single DFS reads.  With it disabled the seed
+        behaviour is kept: one lazy read per entry, so callers that stop
+        early (e.g. LIMIT queries) never read past their cursor.
         """
         self._require_serving()
+        batching = self.config.read_coalesce_gap is not None
+        window = self.config.read_batch_size
         for tablet in sorted(
             (t for t in self.tablets.values() if t.table == table),
             key=lambda t: t.key_range.start,
         ):
             index = self._ensure_index(tablet.tablet_id, group)
-            for entry in index.latest_in_range(start_key, end_key, as_of=as_of):
-                record = self.log.read(entry.pointer)
-                if record.value is not None:
-                    yield entry.key, entry.timestamp, record.value
+            entries = index.latest_in_range(start_key, end_key, as_of=as_of)
+            if not batching:
+                for entry in entries:
+                    record = self.log.read(entry.pointer)
+                    if record.value is not None:
+                        yield entry.key, entry.timestamp, record.value
+                continue
+            entries = iter(entries)
+            while True:
+                batch = list(islice(entries, window))
+                if not batch:
+                    break
+                records = self.log.read_many([entry.pointer for entry in batch])
+                for entry, record in zip(batch, records):
+                    if record.value is not None:
+                        yield entry.key, entry.timestamp, record.value
 
     def full_scan(self, table: str, group: str):
         """Yield (key, timestamp, value) of current versions via a
@@ -499,14 +534,19 @@ class TabletServer:
                 tablet = self.tablets.get(tablet_id)
                 if tablet is None or tablet.table != index.table or group != index.group:
                     continue
-                for entry in primary.latest_in_range(b"", b"\xff" * 64):
-                    record = self.log.read(entry.pointer)
-                    if record.value is None:
-                        continue
-                    self.secondary.on_write(
-                        index.table, group, entry.key, entry.timestamp, record.value
-                    )
-                    fed += 1
+                entries = iter(primary.latest_in_range(b"", b"\xff" * 64))
+                while True:
+                    batch = list(islice(entries, self.config.read_batch_size))
+                    if not batch:
+                        break
+                    records = self.log.read_many([entry.pointer for entry in batch])
+                    for entry, record in zip(batch, records):
+                        if record.value is None:
+                            continue
+                        self.secondary.on_write(
+                            index.table, group, entry.key, entry.timestamp, record.value
+                        )
+                        fed += 1
         return fed
 
     # -- accounting ------------------------------------------------------------------------------

@@ -18,6 +18,7 @@ the paper's Figure 11.
 from __future__ import annotations
 
 from repro.dfs.block import BlockInfo, FileMeta
+from repro.dfs.block_cache import DEFAULT_CHUNK_SIZE, BlockCache
 from repro.dfs.datanode import DataNode
 from repro.dfs.namenode import NameNode
 from repro.errors import (
@@ -39,6 +40,10 @@ class DFS:
         machines: hosts to run one datanode on each.
         replication: synchronous replication factor (paper default: 3).
         block_size: maximum bytes per block (paper default: 64 MB).
+        block_cache_bytes: per-machine block-cache capacity; 0 disables
+            caching entirely (reads hit the datanodes directly, the seed
+            cost model).
+        block_cache_chunk: cache fill/eviction unit in bytes.
     """
 
     def __init__(
@@ -47,10 +52,15 @@ class DFS:
         replication: int = 3,
         block_size: int = DEFAULT_BLOCK_SIZE,
         checksum_replicas: bool = False,
+        block_cache_bytes: int = 0,
+        block_cache_chunk: int = DEFAULT_CHUNK_SIZE,
     ) -> None:
         if not machines:
             raise ValueError("a DFS needs at least one machine")
         self.block_size = block_size
+        self.block_cache_bytes = block_cache_bytes
+        self.block_cache_chunk = block_cache_chunk
+        self._block_caches: dict[str, BlockCache] = {}
         self.network: NetworkModel = machines[0].network
         self.namenode = NameNode(replication=min(replication, len(machines)))
         self.datanodes: dict[str, DataNode] = {}
@@ -118,6 +128,36 @@ class DFS:
         """The datanode co-located on machine ``name``."""
         return self.datanodes[name]
 
+    # -- block caches ---------------------------------------------------------
+
+    def block_cache_for(self, machine: Machine) -> BlockCache | None:
+        """``machine``'s block cache (created lazily), or None when block
+        caching is disabled for this DFS."""
+        if self.block_cache_bytes <= 0:
+            return None
+        cache = self._block_caches.get(machine.name)
+        if cache is None:
+            cache = BlockCache(
+                self.block_cache_bytes,
+                chunk_size=self.block_cache_chunk,
+                counters=machine.counters,
+            )
+            self._block_caches[machine.name] = cache
+        return cache
+
+    def drop_block_caches(self) -> None:
+        """Empty every machine's block cache (cold-read experiments)."""
+        for cache in self._block_caches.values():
+            cache.clear()
+
+    def _invalidate_cached_tail(self, block_id: int, old_length: int) -> None:
+        for cache in self._block_caches.values():
+            cache.invalidate_tail(block_id, old_length)
+
+    def _invalidate_cached_block(self, block_id: int) -> None:
+        for cache in self._block_caches.values():
+            cache.invalidate_block(block_id)
+
     # -- namespace operations -------------------------------------------------
 
     def create(self, path: str, writer: Machine) -> "DFSWriter":
@@ -144,6 +184,7 @@ class DFS:
         """Delete ``path`` and drop all of its replicas."""
         meta = self.namenode.delete_file(path)
         for block in meta.blocks:
+            self._invalidate_cached_block(block.block_id)
             for location in block.locations:
                 node = self.datanodes.get(location)
                 if node is not None and node.alive:
@@ -165,6 +206,9 @@ class DFS:
 
     def _append_to_block(self, block: BlockInfo, data: bytes, writer: Machine) -> None:
         """Run the synchronous replication pipeline for one append."""
+        # Only the partial chunk at the old tail can hold stale cached
+        # bytes after this append; full chunks are immutable.
+        self._invalidate_cached_tail(block.block_id, block.length)
         live = [
             self.datanodes[name]
             for name in block.locations
@@ -266,6 +310,19 @@ class DFSReader:
         """Current file length."""
         return self._meta.length
 
+    @property
+    def machine(self) -> Machine:
+        """The machine this reader charges costs to."""
+        return self._reader
+
+    def refresh(self) -> None:
+        """Re-fetch the file's metadata from the namenode.
+
+        Lets a long-lived reader observe appends that happened after it
+        was opened without re-opening the file (the log repository keeps
+        one reader per segment across appends)."""
+        self._meta = self._dfs.namenode.get_file(self._meta.path)
+
     def read(self, offset: int, length: int) -> bytes:
         """Read ``length`` bytes starting at file ``offset``.
 
@@ -297,6 +354,9 @@ class DFSReader:
         return self.read(0, self._meta.length)
 
     def _read_from_block(self, block: BlockInfo, offset: int, length: int) -> bytes:
+        cache = self._dfs.block_cache_for(self._reader)
+        if cache is not None:
+            return self._read_through_cache(cache, block, offset, length)
         node = self._pick_replica(block)
         payload, cost = node.read_replica(block.block_id, offset, length)
         if node.machine is not self._reader:
@@ -308,6 +368,41 @@ class DFSReader:
         else:
             self._reader.clock.advance(self._dfs.network.local_latency)
         return payload
+
+    def _read_through_cache(
+        self, cache: "BlockCache", block: BlockInfo, offset: int, length: int
+    ) -> bytes:
+        """Serve the range chunk-by-chunk through the reader's block cache.
+
+        A hit costs memory only (the per-call local latency below); a miss
+        reads the *whole* chunk from a replica — one seek plus a
+        chunk-sized transfer charged exactly as a direct read of that
+        range would be — and installs it for later hits.
+        """
+        chunk_size = cache.chunk_size
+        self._reader.clock.advance(self._dfs.network.local_latency)
+        node = None
+        parts: list[bytes] = []
+        first = offset // chunk_size
+        last = (offset + length - 1) // chunk_size
+        for chunk_no in range(first, last + 1):
+            chunk_start = chunk_no * chunk_size
+            data = cache.get(block.block_id, chunk_no)
+            if data is None:
+                if node is None:
+                    node = self._pick_replica(block)
+                take = min(chunk_size, block.length - chunk_start)
+                data, cost = node.read_replica(block.block_id, chunk_start, take)
+                if node.machine is not self._reader:
+                    self._reader.clock.advance(
+                        cost + self._dfs.network.transfer_cost(take)
+                    )
+                    self._reader.counters.add("net.bytes_received", take)
+                cache.put(block.block_id, chunk_no, data)
+            lo = max(offset, chunk_start) - chunk_start
+            hi = min(offset + length, chunk_start + len(data)) - chunk_start
+            parts.append(data[lo:hi])
+        return b"".join(parts)
 
     def _pick_replica(self, block: BlockInfo) -> DataNode:
         live = [

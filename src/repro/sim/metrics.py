@@ -5,12 +5,25 @@ from __future__ import annotations
 from collections import defaultdict
 from typing import Iterator
 
+# Canonical counter names for the log read pipeline.  Every component that
+# records these imports the constants so dashboards (core.stats) and
+# benchmarks agree on spelling.
+BLOCK_CACHE_HITS = "blockcache.hits"
+BLOCK_CACHE_MISSES = "blockcache.misses"
+BLOCK_CACHE_EVICTIONS = "blockcache.evictions"
+BLOCK_CACHE_FILL_BYTES = "blockcache.fill_bytes"
+READ_MANY_CALLS = "log.read_many.calls"
+READ_MANY_RECORDS = "log.read_many.records"
+READ_MANY_SPANS = "log.read_many.spans"
+SCAN_PREFETCH_WINDOWS = "log.scan.prefetch_windows"
+
 
 class Counters:
     """A bag of named integer/float counters.
 
     Examples of counters recorded by this library: ``disk.seeks``,
-    ``disk.bytes_written``, ``net.rpcs``, ``cache.hits``, ``txn.aborts``.
+    ``disk.bytes_written``, ``net.rpcs``, ``cache.hits``, ``txn.aborts``,
+    ``blockcache.hits``, ``log.read_many.spans``.
     """
 
     def __init__(self) -> None:

@@ -45,7 +45,7 @@ class RecordType(enum.IntEnum):
     CHECKPOINT = 5   # checkpoint marker written at checkpoint time
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class LogPointer:
     """Location of a record in the log: file number, offset, record size.
 
@@ -60,7 +60,7 @@ class LogPointer:
         return (self.file_no, self.offset) < (other.file_no, other.offset)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class LogRecord:
     """One decoded log entry.
 

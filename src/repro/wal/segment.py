@@ -12,6 +12,7 @@ from typing import Iterator
 from repro.dfs.filesystem import DFS, DFSReader, DFSWriter
 from repro.errors import CorruptLogRecord
 from repro.sim.machine import Machine
+from repro.sim.metrics import SCAN_PREFETCH_WINDOWS
 from repro.wal.record import LogPointer, LogRecord
 
 
@@ -57,16 +58,32 @@ class LogSegmentWriter:
 
 
 class LogSegmentReader:
-    """Random and sequential reads over one segment file."""
+    """Random and sequential reads over one segment file.
 
-    def __init__(self, file_no: int, reader: DFSReader) -> None:
+    Args:
+        file_no: segment number (stamped into yielded pointers).
+        reader: positional DFS reader over the segment file.
+        prefetch_bytes: read-ahead window for :meth:`scan`; 0 reads the
+            whole segment in one request (the seed behaviour), a positive
+            value streams the scan in windows of this many bytes so long
+            segments pay sequential-bandwidth cost with bounded buffering.
+    """
+
+    def __init__(
+        self, file_no: int, reader: DFSReader, prefetch_bytes: int = 0
+    ) -> None:
         self.file_no = file_no
         self._reader = reader
+        self._prefetch_bytes = prefetch_bytes
 
     @property
     def length(self) -> int:
         """Current segment length in bytes."""
         return self._reader.length
+
+    def refresh(self) -> None:
+        """Pick up appends that landed after this reader was opened."""
+        self._reader.refresh()
 
     def read_at(self, pointer: LogPointer) -> LogRecord:
         """Decode the record at ``pointer`` (one random DFS read)."""
@@ -74,26 +91,49 @@ class LogSegmentReader:
         record, _ = LogRecord.decode(raw)
         return record
 
+    def read_range(self, offset: int, length: int) -> bytes:
+        """Raw bytes of ``[offset, offset+length)`` — one DFS read.  The
+        repository's coalesced batch reads decode multiple records out of
+        one such span."""
+        return self._reader.read(offset, length)
+
     def scan(self) -> Iterator[tuple[LogPointer, LogRecord]]:
         """Sequentially decode every record in the segment.
 
-        A torn final record (crash mid-append) terminates the scan cleanly,
-        matching recovery semantics: bytes after the last complete frame
-        are ignored.
+        With a prefetch window configured, the segment is read in
+        consecutive windows (sequential on the disk model: only the first
+        window pays a seek per block) and records straddling a window
+        boundary are carried over.  A torn final record (crash mid-append)
+        terminates the scan cleanly, matching recovery semantics: bytes
+        after the last complete frame are ignored.
         """
-        buf = self._reader.read_all()
-        offset = 0
-        while offset < len(buf):
+        length = self._reader.length
+        window = self._prefetch_bytes if self._prefetch_bytes > 0 else length
+        counting = self._prefetch_bytes > 0
+        buf = b""
+        base = 0  # file offset of buf[0]
+        fetched = 0  # file offset up to which the segment has been read
+        offset = 0  # file offset of the next record
+        while offset < length:
             try:
-                record, next_offset = LogRecord.decode(buf, offset)
+                record, rel_next = LogRecord.decode(buf, offset - base)
             except CorruptLogRecord:
-                return
+                if fetched >= length:
+                    return  # torn final record (or trailing corruption)
+                take = min(window, length - fetched)
+                buf = buf[offset - base :] + self._reader.read(fetched, take)
+                base = offset
+                fetched += take
+                if counting:
+                    self._reader.machine.counters.add(SCAN_PREFETCH_WINDOWS)
+                continue
+            next_offset = base + rel_next
             yield LogPointer(self.file_no, offset, next_offset - offset), record
             offset = next_offset
 
 
 def open_segment_reader(
-    dfs: DFS, path: str, file_no: int, machine: Machine
+    dfs: DFS, path: str, file_no: int, machine: Machine, prefetch_bytes: int = 0
 ) -> LogSegmentReader:
     """Open ``path`` as a segment reader on behalf of ``machine``."""
-    return LogSegmentReader(file_no, dfs.open(path, machine))
+    return LogSegmentReader(file_no, dfs.open(path, machine), prefetch_bytes)

@@ -1,0 +1,163 @@
+"""Unit tests for the per-machine DFS block cache."""
+
+import pytest
+
+from repro.dfs.block_cache import BlockCache
+from repro.dfs.filesystem import DFS
+from repro.sim.machine import Machine
+from repro.sim.metrics import (
+    BLOCK_CACHE_EVICTIONS,
+    BLOCK_CACHE_HITS,
+    BLOCK_CACHE_MISSES,
+)
+
+
+@pytest.fixture
+def cached_dfs(machines):
+    """A 3-node DFS with small blocks and a per-machine block cache."""
+    return DFS(
+        machines,
+        replication=3,
+        block_size=1 << 20,
+        block_cache_bytes=1 << 20,
+        block_cache_chunk=1024,
+    )
+
+
+def first_block_id(dfs: DFS, path: str) -> int:
+    return dfs.namenode.get_file(path).blocks[0].block_id
+
+
+def write_file(dfs: DFS, machine: Machine, path: str, data: bytes) -> None:
+    writer = dfs.create(path, machine)
+    writer.append(data)
+    writer.close()
+
+
+# -- BlockCache in isolation ------------------------------------------------------
+
+
+def test_hit_miss_eviction_counters():
+    cache = BlockCache(capacity_bytes=2048, chunk_size=1024)
+    assert cache.get(1, 0) is None
+    assert cache.misses == 1 and cache.hits == 0
+    cache.put(1, 0, b"a" * 1024)
+    assert cache.get(1, 0) == b"a" * 1024
+    assert cache.hits == 1
+    assert cache.counters.get(BLOCK_CACHE_HITS) == 1
+    assert cache.counters.get(BLOCK_CACHE_MISSES) == 1
+
+
+def test_byte_capacity_eviction():
+    cache = BlockCache(capacity_bytes=2048, chunk_size=1024)
+    for chunk_no in range(3):
+        cache.put(1, chunk_no, b"x" * 1024)
+    assert cache.bytes_used <= 2048
+    assert cache.evictions == 1
+    assert cache.counters.get(BLOCK_CACHE_EVICTIONS) == 1
+    # LRU: chunk 0 went first.
+    assert not cache.contains(1, 0)
+    assert cache.contains(1, 2)
+
+
+def test_invalidate_tail_drops_only_partial_chunk():
+    cache = BlockCache(capacity_bytes=1 << 20, chunk_size=1024)
+    cache.put(7, 0, b"a" * 1024)  # full, immutable
+    cache.put(7, 1, b"b" * 500)  # partial tail
+    cache.invalidate_tail(7, block_length=1524)
+    assert cache.contains(7, 0)
+    assert not cache.contains(7, 1)
+
+
+def test_invalidate_block_drops_every_chunk():
+    cache = BlockCache(capacity_bytes=1 << 20, chunk_size=1024)
+    cache.put(7, 0, b"a" * 1024)
+    cache.put(7, 1, b"b" * 1024)
+    cache.put(8, 0, b"c" * 1024)
+    cache.invalidate_block(7)
+    assert cache.cached_chunks(7) == []
+    assert cache.cached_chunks(8) == [0]
+
+
+# -- DFS integration ---------------------------------------------------------------
+
+
+def test_block_cache_for_disabled_returns_none(dfs, machines):
+    assert dfs.block_cache_for(machines[0]) is None
+
+
+def test_block_cache_for_is_per_machine(cached_dfs, machines):
+    a = cached_dfs.block_cache_for(machines[0])
+    b = cached_dfs.block_cache_for(machines[1])
+    assert a is not None and b is not None and a is not b
+    assert cached_dfs.block_cache_for(machines[0]) is a
+
+
+def test_repeat_read_hits_cache_and_is_cheaper(cached_dfs, machines):
+    machine = machines[0]
+    write_file(cached_dfs, machine, "/f", b"p" * 5000)
+    reader = cached_dfs.open("/f", machine)
+
+    before = machine.clock.now
+    assert reader.read(0, 5000) == b"p" * 5000
+    cold_cost = machine.clock.now - before
+
+    before = machine.clock.now
+    assert reader.read(0, 5000) == b"p" * 5000
+    warm_cost = machine.clock.now - before
+
+    # A warm read pays one local-latency hop, no disk access at all.
+    assert warm_cost < cold_cost
+    assert warm_cost == pytest.approx(machine.network.local_latency)
+    assert machine.counters.get(BLOCK_CACHE_HITS) > 0
+
+
+def test_append_invalidates_cached_tail_chunk(cached_dfs, machines):
+    machine = machines[0]
+    writer = cached_dfs.create("/g", machine)
+    writer.append(b"a" * 1500)  # chunk 0 full, chunk 1 partial
+    reader = cached_dfs.open("/g", machine)
+    reader.read(0, 1500)  # warm chunks 0 and 1
+    cache = cached_dfs.block_cache_for(machine)
+    block_id = first_block_id(cached_dfs, "/g")
+    assert cache.cached_chunks(block_id) == [0, 1]
+
+    writer.append(b"b" * 300)
+    # Only the stale partial tail chunk is dropped; chunk 0 stays warm.
+    assert cache.cached_chunks(block_id) == [0]
+    reader.refresh()
+    assert reader.read(0, 1800) == b"a" * 1500 + b"b" * 300
+    writer.close()
+
+
+def test_delete_invalidates_whole_block(cached_dfs, machines):
+    machine = machines[0]
+    write_file(cached_dfs, machine, "/h", b"z" * 3000)
+    block_id = first_block_id(cached_dfs, "/h")
+    cached_dfs.open("/h", machine).read(0, 3000)
+    cache = cached_dfs.block_cache_for(machine)
+    assert cache.cached_chunks(block_id)
+    cached_dfs.delete("/h")
+    assert cache.cached_chunks(block_id) == []
+
+
+def test_drop_block_caches_empties_every_machine(cached_dfs, machines):
+    write_file(cached_dfs, machines[0], "/i", b"q" * 2000)
+    for machine in machines[:2]:
+        cached_dfs.open("/i", machine).read(0, 2000)
+        assert len(cached_dfs.block_cache_for(machine)) > 0
+    cached_dfs.drop_block_caches()
+    for machine in machines[:2]:
+        assert len(cached_dfs.block_cache_for(machine)) == 0
+
+
+def test_cached_reads_return_same_bytes_as_uncached(machines, dfs, cached_dfs):
+    payload = bytes(range(256)) * 40  # 10240 bytes, not chunk-aligned
+    for fs in (dfs, cached_dfs):
+        write_file(fs, machines[0], "/same", payload)
+    plain = dfs.open("/same", machines[0])
+    cached = cached_dfs.open("/same", machines[0])
+    for offset, length in [(0, 10240), (1000, 24), (1023, 2), (10239, 1), (0, 1)]:
+        assert cached.read(offset, length) == plain.read(offset, length)
+        # Twice: the second time is served from cache.
+        assert cached.read(offset, length) == plain.read(offset, length)
