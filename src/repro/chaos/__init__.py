@@ -1,0 +1,24 @@
+"""Chaos testing: seeded fault schedules with a durability oracle.
+
+The harness (:mod:`repro.chaos.runner`) drives a seeded write/read
+workload against a full cluster while a :class:`~repro.sim.failure.FaultPlan`
+kills nodes at instrumented crash points, partitions the network, and
+revives machines mid-run.  A :class:`~repro.chaos.oracle.DurabilityOracle`
+tracks the fate the client observed for every write and, after recovery,
+verifies the paper's durability contract: every acknowledged write is
+readable, no cleanly-aborted write is visible, and indeterminate commits
+are atomic (all-or-nothing).
+"""
+
+from repro.chaos.oracle import DurabilityOracle, WriteStatus
+from repro.chaos.runner import ChaosReport, run_chaos
+from repro.chaos.schedules import SCHEDULES, ChaosSchedule
+
+__all__ = [
+    "ChaosReport",
+    "ChaosSchedule",
+    "DurabilityOracle",
+    "SCHEDULES",
+    "WriteStatus",
+    "run_chaos",
+]

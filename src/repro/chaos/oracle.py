@@ -1,0 +1,175 @@
+"""The durability oracle: what must survive a crash, and what must not.
+
+Every chaos-workload write carries a globally unique monotonically
+increasing sequence number encoded in its value (``s%08d``), so a single
+read tells the oracle exactly which write it is seeing.  The client
+reports the *observed fate* of each write:
+
+* **acked** — the operation returned success to the client.  The paper's
+  contract (commit record durable in the shared DFS before the ack,
+  §3.7) makes this a hard promise: the write must be readable after any
+  sequence of crashes and recoveries, and never shadowed by an older
+  version.
+* **aborted** — the transaction aborted *cleanly* (validation or lock
+  conflict, before its write phase).  None of its writes may ever become
+  visible.
+* **indeterminate** — the operation failed mid-flight (server crashed
+  during the write phase, commit outcome unknown to the client).  The
+  write may or may not survive, but a transaction's writes must be
+  atomic: all visible or none.
+
+``verify`` replays those promises against post-recovery reads and
+returns human-readable violations (empty = the run upheld durability).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Callable
+
+
+class WriteStatus(enum.Enum):
+    """Client-observed fate of one write."""
+
+    ACKED = "acked"
+    ABORTED = "aborted"
+    INDETERMINATE = "indeterminate"
+
+
+def encode_value(seq: int) -> bytes:
+    """The chaos workload's value for sequence number ``seq``."""
+    return b"s%08d" % seq
+
+
+def decode_value(value: bytes) -> int | None:
+    """Sequence number encoded in ``value``; None if unparseable."""
+    if len(value) != 9 or not value.startswith(b"s"):
+        return None
+    try:
+        return int(value[1:])
+    except ValueError:
+        return None
+
+
+@dataclass
+class TxnRecord:
+    """One multi-record transaction: its member writes and fate."""
+
+    members: dict[bytes, int]  # key -> seq
+    status: WriteStatus
+
+
+class DurabilityOracle:
+    """Tracks every write's fate and checks the durability contract."""
+
+    def __init__(self) -> None:
+        self._next_seq = 1
+        # key -> seq -> status of the write that produced that value.
+        self._writes: dict[bytes, dict[int, WriteStatus]] = {}
+        # key -> highest acked seq (the floor any later read must meet).
+        self._acked: dict[bytes, int] = {}
+        self._txns: list[TxnRecord] = []
+
+    # -- recording ---------------------------------------------------------
+
+    def next_value(self) -> tuple[int, bytes]:
+        """Allocate the next sequence number and its encoded value."""
+        seq = self._next_seq
+        self._next_seq += 1
+        return seq, encode_value(seq)
+
+    def record(self, key: bytes, seq: int, status: WriteStatus) -> None:
+        """Record the observed fate of write ``seq`` on ``key``.
+
+        A retried operation may upgrade an earlier INDETERMINATE verdict
+        to ACKED; an ack is never downgraded.
+        """
+        per_key = self._writes.setdefault(key, {})
+        previous = per_key.get(seq)
+        if previous is WriteStatus.ACKED:
+            return
+        per_key[seq] = status
+        if status is WriteStatus.ACKED:
+            self._acked[key] = max(self._acked.get(key, 0), seq)
+
+    def record_txn(self, members: dict[bytes, int], status: WriteStatus) -> None:
+        """Record a multi-record transaction's fate for every member."""
+        for key, seq in members.items():
+            self.record(key, seq, status)
+        self._txns.append(TxnRecord(members=dict(members), status=status))
+
+    # -- accounting --------------------------------------------------------
+
+    @property
+    def keys(self) -> list[bytes]:
+        """Every key the workload ever wrote."""
+        return sorted(self._writes)
+
+    def counts(self) -> dict[str, int]:
+        """How many writes ended in each status."""
+        totals = {status.value: 0 for status in WriteStatus}
+        for per_key in self._writes.values():
+            for status in per_key.values():
+                totals[status.value] += 1
+        return totals
+
+    def last_acked(self, key: bytes) -> int | None:
+        """Highest acked sequence number on ``key``; None if never acked."""
+        return self._acked.get(key)
+
+    # -- verification ------------------------------------------------------
+
+    def check_read(self, key: bytes, value: bytes | None) -> str | None:
+        """Check one observed read against the contract; None if fine."""
+        acked = self._acked.get(key)
+        if value is None:
+            if acked is not None:
+                return f"{key!r}: acked write s{acked:08d} lost (key absent)"
+            return None
+        seq = decode_value(value)
+        if seq is None or seq not in self._writes.get(key, {}):
+            return f"{key!r}: ghost value {value!r} never written to this key"
+        status = self._writes[key][seq]
+        if status is WriteStatus.ABORTED:
+            return f"{key!r}: cleanly-aborted write s{seq:08d} is visible"
+        if acked is not None and seq < acked:
+            return (
+                f"{key!r}: read s{seq:08d} but s{acked:08d} was acked "
+                "(acknowledged write shadowed)"
+            )
+        return None
+
+    def verify(self, read: Callable[[bytes], bytes | None]) -> list[str]:
+        """Read back every key and return all contract violations.
+
+        Args:
+            read: post-recovery point read (e.g. ``client.get_raw``).
+        """
+        violations: list[str] = []
+        observed: dict[bytes, bytes | None] = {}
+        for key in self.keys:
+            value = read(key)
+            observed[key] = value
+            problem = self.check_read(key, value)
+            if problem is not None:
+                violations.append(problem)
+        # Atomicity of indeterminate transactions: because every chaos
+        # transaction writes fresh dedicated keys, its value is visible on
+        # a member key iff the transaction's write survived there — so a
+        # partial survival is a torn (non-atomic) commit.
+        for txn in self._txns:
+            if txn.status is not WriteStatus.INDETERMINATE:
+                continue  # acked/aborted members are covered per key above
+            visible = [
+                key
+                for key, seq in txn.members.items()
+                if observed.get(key) is not None
+                and decode_value(observed[key]) == seq
+            ]
+            if visible and len(visible) != len(txn.members):
+                violations.append(
+                    f"torn transaction: {sorted(visible)!r} visible but "
+                    f"{sorted(set(txn.members) - set(visible))!r} missing"
+                )
+        return violations

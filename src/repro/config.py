@@ -52,6 +52,23 @@ class LogBaseConfig:
             behaviour), a positive value streams the scan in windows of
             this many bytes.
         group_commit_batch: max records buffered per group-commit flush.
+        dfs_checksum_replicas: datanodes keep an incremental CRC-32C per
+            replica (needed for read-path corruption detection).
+        dfs_verify_reads: checksum-verify a replica before serving a read
+            from it; on mismatch the reader fails over to another replica
+            instead of returning bad bytes.  Requires
+            ``dfs_checksum_replicas``.
+        dfs_auto_rereplicate: the cluster heartbeat runs the namenode's
+            background re-replication pass over blocks the pipeline or
+            read path reported under-replicated.
+        dfs_degraded_allocation: allocate new blocks on however many
+            datanodes are live (queued for repair) instead of refusing
+            writes when fewer than ``replication`` survive.
+        client_retry_limit: times a client retries an operation that hit
+            a dead server (with backoff), instead of raising immediately.
+            0 keeps the seed behaviour: invalidate the cache and raise.
+        client_retry_backoff: simulated seconds charged to the client
+            before the first retry; doubles per attempt.
         index_kind: ``"blink"`` (in-memory) or ``"lsm"`` (spill to DFS).
         max_versions: versions kept per key by compaction (None = all).
         disk: device cost model for every machine.
@@ -74,6 +91,12 @@ class LogBaseConfig:
     read_batch_size: int = 256
     scan_prefetch_bytes: int = 0
     group_commit_batch: int = 16
+    dfs_checksum_replicas: bool = False
+    dfs_verify_reads: bool = False
+    dfs_auto_rereplicate: bool = False
+    dfs_degraded_allocation: bool = False
+    client_retry_limit: int = 0
+    client_retry_backoff: float = 0.05
     index_kind: str = "blink"
     max_versions: int | None = None
     disk: DiskModel = field(default_factory=DiskModel)
@@ -113,6 +136,26 @@ class LogBaseConfig:
         settings.update(overrides)
         return cls(**settings)
 
+    @classmethod
+    def with_fault_tolerance(cls, **overrides) -> "LogBaseConfig":
+        """A config with the fault-tolerance layer enabled: replica
+        checksums with verified, failing-over reads; heartbeat-driven
+        background re-replication; and client retries over failover.
+
+        The plain constructor keeps all of it off so the seed cost model
+        and figures are reproduced byte-identically; this preset is what
+        the chaos harness (``repro.chaos``) runs under.
+        """
+        settings: dict = {
+            "dfs_checksum_replicas": True,
+            "dfs_verify_reads": True,
+            "dfs_auto_rereplicate": True,
+            "dfs_degraded_allocation": True,
+            "client_retry_limit": 3,
+        }
+        settings.update(overrides)
+        return cls(**settings)
+
     def validate(self) -> None:
         """Raise ValueError on inconsistent settings."""
         if self.replication < 1:
@@ -134,3 +177,9 @@ class LogBaseConfig:
             raise ValueError("read_batch_size must be >= 1")
         if self.scan_prefetch_bytes < 0:
             raise ValueError("scan_prefetch_bytes must be >= 0")
+        if self.dfs_verify_reads and not self.dfs_checksum_replicas:
+            raise ValueError("dfs_verify_reads requires dfs_checksum_replicas")
+        if self.client_retry_limit < 0:
+            raise ValueError("client_retry_limit must be >= 0")
+        if self.client_retry_backoff < 0:
+            raise ValueError("client_retry_backoff must be >= 0")

@@ -15,6 +15,7 @@ from dataclasses import dataclass
 from repro.core.tablet_server import TabletServer
 from repro.dfs.filesystem import DFS
 from repro.index.persist import load_index_file, write_index_file
+from repro.sim.failure import CP_CHECKPOINT_MID, crash_point
 from repro.wal.record import LogPointer
 
 
@@ -74,6 +75,10 @@ class CheckpointManager:
         position = server.log.end_pointer()
         lsn = server.log.next_lsn - 1
         for (tablet_id, group), index in server.indexes().items():
+            # A crash here leaves some index files written but no new
+            # checkpoint block — the previous checkpoint stays consistent
+            # and recovery redoes from it (the block is the commit point).
+            crash_point(CP_CHECKPOINT_MID, server=server.name)
             path = f"{self._root}/{tablet_id}.{group}.idx"
             write_index_file(self._dfs, path, server.machine, index)
             index_files[f"{tablet_id}|{group}"] = path

@@ -15,16 +15,35 @@ from repro.core.schema import decode_group_value, encode_group_value
 from repro.core.tablet import Tablet
 from repro.errors import ServerDownError, TabletNotFound
 from repro.sim.machine import Machine
+from repro.sim.metrics import CLIENT_RETRIES
 
 _REQUEST_OVERHEAD = 64  # approximate request framing bytes
 
 
 class Client:
-    """A LogBase client running on (or near) a cluster machine."""
+    """A LogBase client running on (or near) a cluster machine.
 
-    def __init__(self, master: Master, machine: Machine) -> None:
+    Args:
+        master: the active master (location lookups).
+        machine: the machine this client charges RPC costs to.
+        retry_limit: times an operation that hit a dead server is retried
+            after refreshing locations, with sim-clock-charged backoff.
+            0 (the seed behaviour) raises immediately.
+        retry_backoff: simulated seconds before the first retry; doubles
+            on each further attempt.
+    """
+
+    def __init__(
+        self,
+        master: Master,
+        machine: Machine,
+        retry_limit: int = 0,
+        retry_backoff: float = 0.05,
+    ) -> None:
         self._master = master
         self._machine = machine
+        self._retry_limit = retry_limit
+        self._retry_backoff = retry_backoff
         # table -> list of (server name, tablet), cached after first lookup
         self._locations: dict[str, list[tuple[str, Tablet]]] = {}
         self.last_op_seconds = 0.0
@@ -87,14 +106,36 @@ class Client:
         that server answers TabletNotFound, the client refreshes its
         cache from the master and retries — "the information ... only
         need to be looked up ... when the cache is stale" (§3.3).
+
+        A dead server (ServerDownError) is additionally retried up to
+        ``retry_limit`` times with exponential backoff charged to the
+        client's clock, covering the window in which the master fails the
+        server's tablets over to healthy adopters.  With the default
+        limit of 0 the seed behaviour is unchanged: the cache is dropped
+        and the error propagates.
         """
-        server = self._server_for(table, key)
-        try:
-            return self._call(server, request_bytes, response_bytes, op_factory(server))
-        except TabletNotFound:
-            self.invalidate_cache(table)
-            server = self._server_for(table, key)
-            return self._call(server, request_bytes, response_bytes, op_factory(server))
+        attempts = 0
+        while True:
+            try:
+                server = self._server_for(table, key)
+                try:
+                    return self._call(
+                        server, request_bytes, response_bytes, op_factory(server)
+                    )
+                except TabletNotFound:
+                    self.invalidate_cache(table)
+                    server = self._server_for(table, key)
+                    return self._call(
+                        server, request_bytes, response_bytes, op_factory(server)
+                    )
+            except ServerDownError:
+                if attempts >= self._retry_limit:
+                    raise
+                attempts += 1
+                self._machine.counters.add(CLIENT_RETRIES)
+                self._machine.clock.advance(
+                    self._retry_backoff * (2 ** (attempts - 1))
+                )
 
     # -- typed API -----------------------------------------------------------------------
 

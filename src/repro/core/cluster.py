@@ -51,12 +51,15 @@ class LogBaseCluster:
             self.machines,
             replication=self.config.replication,
             block_size=self.config.dfs_block_size,
+            checksum_replicas=self.config.dfs_checksum_replicas,
             block_cache_bytes=(
                 self.config.block_cache_budget_bytes
                 if self.config.block_cache_enabled
                 else 0
             ),
             block_cache_chunk=self.config.block_cache_chunk,
+            verify_reads=self.config.dfs_verify_reads,
+            degraded_allocation=self.config.dfs_degraded_allocation,
         )
         self.coordination = CoordinationService()
         self.tso = TimestampOracle(self.coordination)
@@ -154,3 +157,59 @@ class LogBaseCluster:
         if permanent:
             return self.master.handle_permanent_failure(name)
         return None
+
+    def kill_node(self, name: str) -> None:
+        """Crash a whole machine: its tablet server *and* its datanode
+        stop serving (they share the machine's ``alive`` flag).  The
+        server's in-memory state is lost, as in a power failure."""
+        server = self.server_by_name(name)
+        server.crash()
+        self.failures.kill(name)
+
+    def restart_server(self, name: str, *, recover: bool = True):
+        """Bring a crashed server (and its machine, if the whole node went
+        down) back up, re-take its liveness znode when the old session
+        expired, and optionally run checkpoint+redo recovery.
+
+        Tablets that failed over to other servers while this one was down
+        stay where they are — the restarted server rejoins empty-handed
+        and picks up work at the next ``rebalance()`` (kill -> revive ->
+        re-adopt).  Returns the :class:`~repro.core.recovery.RecoveryReport`
+        when recovery ran, else None.
+        """
+        from repro.core.recovery import recover_server
+
+        server = self.server_by_name(name)
+        if not server.machine.alive:
+            self.failures.revive(name)
+        server.restart()
+        if not self.coordination.exists(f"/logbase/servers/{name}"):
+            self.master.register_server(server)
+        else:
+            # Session survived the crash: just refresh the catalog handle.
+            self.master.catalog.servers[name] = server
+        if recover:
+            return recover_server(server, self.checkpoints[name])
+        return None
+
+    def heartbeat(self) -> dict:
+        """One cluster heartbeat tick, the periodic pass a real deployment
+        runs continuously: expire the coordination sessions of dead
+        servers (so the master's watches fire and — with auto-failover
+        enabled — their tablets are adopted), and run the namenode's
+        background re-replication when ``dfs_auto_rereplicate`` is on.
+
+        Returns ``{"expired": [names], "rereplicated": count}``.
+        """
+        expired: list[str] = []
+        for server in self.servers:
+            session = self.master.catalog.server_sessions.get(server.name)
+            if session is None or session.expired:
+                continue
+            if not server.machine.alive or not server.serving:
+                self.master.expire_server(server.name)
+                expired.append(server.name)
+        created = 0
+        if self.config.dfs_auto_rereplicate:
+            created = self.dfs.heartbeat()
+        return {"expired": expired, "rereplicated": created}

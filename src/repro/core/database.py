@@ -43,7 +43,7 @@ class LogBase:
         self.txn_manager = TransactionManager(
             self.cluster.master, self.cluster.tso, self.cluster.coordination
         )
-        self._default_client = Client(self.cluster.master, self.cluster.machines[0])
+        self._default_client = self.client()
 
     # -- DDL -----------------------------------------------------------------------
 
@@ -69,9 +69,12 @@ class LogBase:
 
     def client(self, machine: Machine | None = None) -> Client:
         """A client bound to ``machine`` (default: the first node)."""
+        config = self.cluster.config
         return Client(
             self.cluster.master,
             machine if machine is not None else self.cluster.machines[0],
+            retry_limit=config.client_retry_limit,
+            retry_backoff=config.client_retry_backoff,
         )
 
     def begin(self) -> Transaction:

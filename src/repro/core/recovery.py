@@ -210,12 +210,32 @@ def adopt_split_log(
     report = RecoveryReport()
     pending: dict[int, list[LogRecord]] = defaultdict(list)
 
+    def as_committed(record: LogRecord) -> LogRecord:
+        # Only committed records reach replay, and the commit markers
+        # themselves are not rewritten into the adopter's log — re-home
+        # the record as auto-committed (txn_id 0) so a later compaction
+        # or redo scan of the adopter's log does not drop it as
+        # uncommitted (same trick compaction plays for slim records).
+        if record.txn_id == 0:
+            return record
+        return LogRecord(
+            record_type=record.record_type,
+            lsn=record.lsn,
+            txn_id=0,
+            table=record.table,
+            tablet=record.tablet,
+            key=record.key,
+            group=record.group,
+            timestamp=record.timestamp,
+            value=record.value,
+        )
+
     def replay(record: LogRecord) -> None:
         if record.record_type is RecordType.WRITE:
-            pointer, stamped = server.log.append(record)
+            pointer, stamped = server.log.append(as_committed(record))
             _apply(server, stamped, pointer, report)
         elif record.record_type is RecordType.INVALIDATE:
-            server.log.append(record)
+            server.log.append(as_committed(record))
             _apply_delete(server, record, report)
 
     for _, record in split_repo.scan_all():

@@ -89,6 +89,12 @@ class TabletServer:
     def restart(self) -> None:
         """Bring the process back up with empty memory.  The caller runs
         recovery (:mod:`repro.core.recovery`) to rebuild the indexes."""
+        # A machine-level kill (power failure) skips crash(), but memory
+        # is lost all the same: drop any stale in-memory state so recovery
+        # rebuilds from the log rather than trusting pre-crash indexes.
+        self._indexes.clear()
+        self._update_counters.clear()
+        self.secondary.clear()
         self.log = LogRepository.reattach(
             self.dfs,
             self.machine,

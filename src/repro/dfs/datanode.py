@@ -109,6 +109,19 @@ class DataNode:
             return True
         return crc32c(bytes(replica)) == self._checksums[block_id]
 
+    def corrupt_replica(self, block_id: int, at: int = 0) -> None:
+        """Flip one payload byte *without* updating the running checksum —
+        fault injection for read-path corruption tests.  The damage is only
+        detectable when ``checksum_replicas`` is on and a reader verifies.
+
+        Raises:
+            KeyError: if this datanode holds no such replica.
+        """
+        replica = self._blocks[block_id]
+        if not replica:
+            raise ValueError(f"replica of block {block_id} is empty")
+        replica[at % len(replica)] ^= 0xFF
+
     def drop_replica(self, block_id: int) -> None:
         """Delete the local replica (file deletion / re-replication)."""
         self._blocks.pop(block_id, None)

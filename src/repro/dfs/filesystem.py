@@ -22,12 +22,21 @@ from repro.dfs.block_cache import DEFAULT_CHUNK_SIZE, BlockCache
 from repro.dfs.datanode import DataNode
 from repro.dfs.namenode import NameNode
 from repro.errors import (
+    BlockCorruptionError,
     DataNodeDownError,
     DFSError,
     FileClosedError,
     FileNotFoundInDFS,
+    ReplicaCorruptError,
 )
+from repro.sim.failure import CP_DFS_APPEND, CP_DFS_REREPLICATE, crash_point
 from repro.sim.machine import Machine
+from repro.sim.metrics import (
+    DFS_CORRUPT_REPLICAS,
+    DFS_READ_FAILOVERS,
+    DFS_REREPLICATIONS,
+    DFS_UNDER_REPLICATED,
+)
 from repro.sim.network import NetworkModel
 
 DEFAULT_BLOCK_SIZE = 64 * 1024 * 1024
@@ -44,6 +53,14 @@ class DFS:
             caching entirely (reads hit the datanodes directly, the seed
             cost model).
         block_cache_chunk: cache fill/eviction unit in bytes.
+        verify_reads: checksum-verify a replica before serving a read
+            from it (requires ``checksum_replicas``); on mismatch the
+            reader fails over to another replica instead of returning
+            bad bytes.  Off by default — the seed read path.
+        degraded_allocation: allocate new blocks on however many
+            datanodes are live (queued for repair) instead of refusing
+            writes when fewer than ``replication`` survive.  Off by
+            default — the seed's strict behaviour.
     """
 
     def __init__(
@@ -54,62 +71,129 @@ class DFS:
         checksum_replicas: bool = False,
         block_cache_bytes: int = 0,
         block_cache_chunk: int = DEFAULT_CHUNK_SIZE,
+        verify_reads: bool = False,
+        degraded_allocation: bool = False,
     ) -> None:
         if not machines:
             raise ValueError("a DFS needs at least one machine")
+        if verify_reads and not checksum_replicas:
+            raise ValueError("verify_reads requires checksum_replicas")
         self.block_size = block_size
+        self.verify_reads = verify_reads
         self.block_cache_bytes = block_cache_bytes
         self.block_cache_chunk = block_cache_chunk
         self._block_caches: dict[str, BlockCache] = {}
         self.network: NetworkModel = machines[0].network
-        self.namenode = NameNode(replication=min(replication, len(machines)))
+        self.namenode = NameNode(
+            replication=min(replication, len(machines)),
+            allow_degraded=degraded_allocation,
+        )
         self.datanodes: dict[str, DataNode] = {}
         for machine in machines:
             node = DataNode(machine, checksum_replicas=checksum_replicas)
             self.datanodes[node.name] = node
             self.namenode.register_datanode(node.name, machine.rack)
 
-    def rereplicate(self) -> int:
+    def rereplicate(self, strict: bool = True) -> int:
         """Restore the replication factor of under-replicated blocks.
 
-        Real HDFS does this continuously when datanodes die; here it is an
-        explicit pass: for every block with fewer live replicas than the
+        Real HDFS does this continuously when datanodes die; here it is a
+        sweep: for every block with fewer live replicas than the
         replication factor, a surviving replica is copied to a live
-        datanode that lacks one.  Returns the number of new replicas
-        created.
+        datanode that lacks one.  Targets are rack-aware (racks without a
+        replica are preferred), dead entries are pruned from the block's
+        locations, and a target holding a *stale* copy (e.g. a revived
+        node) drops it and receives a fresh one.  Liveness is re-checked
+        per block and per copy so that a source dying mid-pass fails over
+        to another survivor.  Returns the number of new replicas created.
+
+        Args:
+            strict: raise on a block with no live replica (data loss).
+                The background heartbeat pass uses ``strict=False``, which
+                skips such blocks and leaves them queued.
 
         Raises:
-            DFSError: if a block has no live replica left (data loss).
+            DFSError: in strict mode, if a block has no live replica left.
         """
         created = 0
-        alive = self._alive()
         for path in self.namenode.list_files():
             for block in self.namenode.get_file(path).blocks:
-                live = [loc for loc in block.locations if loc in alive]
-                if not live:
-                    raise DFSError(
-                        f"block {block.block_id} of {path} has no live replica"
-                    )
-                want = min(self.namenode.replication, len(alive))
-                if len(live) >= want:
-                    continue
-                source = self.datanodes[live[0]]
-                targets = [
-                    name for name in alive
-                    if name not in live and not self.datanodes[name].has_block(block.block_id)
-                ]
-                for target_name in targets[: want - len(live)]:
-                    payload, _ = source.read_replica(
-                        block.block_id, 0, source.block_length(block.block_id)
-                    )
-                    target = self.datanodes[target_name]
-                    source.machine.send(target.machine, len(payload))
-                    target.create_replica(block.block_id)
-                    target.append_replica(block.block_id, payload)
-                    block.locations.append(target_name)
-                    live.append(target_name)
-                    created += 1
+                created += self._rereplicate_block(path, block, strict)
         return created
+
+    def _rereplicate_block(self, path: str, block: BlockInfo, strict: bool) -> int:
+        def lost() -> int:
+            if strict:
+                raise DFSError(
+                    f"block {block.block_id} of {path} has no live replica"
+                )
+            return 0
+
+        alive = self._alive()
+        live = [loc for loc in block.locations if loc in alive]
+        if not live:
+            return lost()
+        if len(live) != len(block.locations):
+            block.locations[:] = live
+        want = min(self.namenode.replication, len(alive))
+        if len(live) >= want:
+            self.namenode.clear_under_replicated(block.block_id)
+            return 0
+        crash_point(CP_DFS_REREPLICATE, block=block.block_id, path=path)
+        # Rack-aware target choice: racks not yet holding a replica first.
+        # Sorted so the sweep is deterministic (``alive`` is a set and
+        # string hashing is randomized per process).
+        live_racks = {self.namenode.rack_of(name) for name in live}
+        candidates = sorted(name for name in alive if name not in live)
+        targets = [
+            n for n in candidates if self.namenode.rack_of(n) not in live_racks
+        ] + [n for n in candidates if self.namenode.rack_of(n) in live_racks]
+        created = 0
+        for target_name in targets[: want - len(live)]:
+            # The source may have died mid-pass (e.g. a fault fired at the
+            # crash point above): fall back to any remaining live replica.
+            source = next(
+                (self.datanodes[n] for n in live if self.datanodes[n].alive),
+                None,
+            )
+            if source is None:
+                block.locations[:] = [n for n in live if self.datanodes[n].alive]
+                return created if created else lost()
+            target = self.datanodes[target_name]
+            if not target.alive:
+                continue
+            if not self.network.reachable(source.name, target_name):
+                # Partitioned off from the source: leave the block queued;
+                # the heartbeat retries after the partition heals.
+                continue
+            if target.has_block(block.block_id):
+                # Stale copy from before this node was revived; replace it.
+                target.drop_replica(block.block_id)
+            payload, _ = source.read_replica(
+                block.block_id, 0, source.block_length(block.block_id)
+            )
+            source.machine.send(target.machine, len(payload))
+            target.create_replica(block.block_id)
+            target.append_replica(block.block_id, payload)
+            block.locations.append(target_name)
+            live.append(target_name)
+            target.machine.counters.add(DFS_REREPLICATIONS)
+            created += 1
+        if len(live) >= want:
+            self.namenode.clear_under_replicated(block.block_id)
+        else:
+            self.namenode.report_under_replicated(block.block_id)
+        return created
+
+    def heartbeat(self) -> int:
+        """One background repair tick, as the namenode would run off
+        datanode heartbeats: if any block has been reported
+        under-replicated, sweep and restore replication.  Non-strict —
+        blocks with no live replica stay queued rather than raising from
+        a background pass.  Returns replicas created."""
+        if not self.namenode.under_replicated:
+            return 0
+        return self.rereplicate(strict=False)
 
     def add_machine(self, machine: Machine) -> DataNode:
         """Start a datanode on a newly provisioned machine (elastic
@@ -185,6 +269,7 @@ class DFS:
         meta = self.namenode.delete_file(path)
         for block in meta.blocks:
             self._invalidate_cached_block(block.block_id)
+            self.namenode.clear_under_replicated(block.block_id)
             for location in block.locations:
                 node = self.datanodes.get(location)
                 if node is not None and node.alive:
@@ -205,15 +290,26 @@ class DFS:
     # -- replication internals -------------------------------------------------
 
     def _append_to_block(self, block: BlockInfo, data: bytes, writer: Machine) -> None:
-        """Run the synchronous replication pipeline for one append."""
+        """Run the synchronous replication pipeline for one append.
+
+        A replica that is dead or unreachable — whether it failed before
+        this append or dies mid-pipeline — is pruned from the block's
+        locations and counted in ``dfs.under_replicated``; the write
+        completes on the survivors (HDFS pipeline recovery) and the
+        heartbeat pass restores the replication factor later.
+        """
         # Only the partial chunk at the old tail can hold stale cached
         # bytes after this append; full chunks are immutable.
         self._invalidate_cached_tail(block.block_id, block.length)
-        live = [
-            self.datanodes[name]
-            for name in block.locations
-            if self.datanodes[name].alive
-        ]
+        crash_point(CP_DFS_APPEND, block=block.block_id, writer=writer.name)
+        live: list[DataNode] = []
+        dead: list[str] = []
+        for name in block.locations:
+            node = self.datanodes[name]
+            if node.alive and self.network.reachable(writer.name, name):
+                live.append(node)
+            else:
+                dead.append(name)
         if not live:
             raise DFSError(f"no live replica for block {block.block_id}")
         primary, *secondaries = live
@@ -222,13 +318,33 @@ class DFS:
         primary.append_replica(block.block_id, data)
         # ...which pipelines once to the remaining replicas; remote disks pay
         # their own write cost on their own clocks.
+        acked = 0
         for replica in secondaries:
+            # A fault may kill or partition a secondary between the liveness
+            # check above and its turn in the pipeline; drop it and go on.
+            if not replica.alive or not self.network.reachable(
+                primary.name, replica.name
+            ):
+                dead.append(replica.name)
+                continue
             primary.machine.counters.add("net.bytes_sent", len(data))
             replica.machine.clock.advance(self.network.transfer_cost(len(data)))
             replica.append_replica(block.block_id, data)
+            acked += 1
         # Synchronous ack travels back up the pipeline before return.
-        writer.clock.advance(self.network.latency * len(secondaries))
+        writer.clock.advance(self.network.latency * acked)
         block.length += len(data)
+        if dead:
+            self._prune_replicas(block, dead, writer)
+
+    def _prune_replicas(
+        self, block: BlockInfo, dead: list[str], machine: Machine
+    ) -> None:
+        """Drop failed replicas from ``block``'s locations and queue the
+        block for heartbeat-driven re-replication."""
+        block.locations[:] = [n for n in block.locations if n not in dead]
+        machine.counters.add(DFS_UNDER_REPLICATED, len(dead))
+        self.namenode.report_under_replicated(block.block_id)
 
 
 class DFSWriter:
@@ -357,8 +473,7 @@ class DFSReader:
         cache = self._dfs.block_cache_for(self._reader)
         if cache is not None:
             return self._read_through_cache(cache, block, offset, length)
-        node = self._pick_replica(block)
-        payload, cost = node.read_replica(block.block_id, offset, length)
+        payload, cost, node = self._failover_read(block, offset, length)
         if node.machine is not self._reader:
             # Remote read: the reader waits for the remote disk + transfer.
             self._reader.clock.advance(
@@ -381,7 +496,6 @@ class DFSReader:
         """
         chunk_size = cache.chunk_size
         self._reader.clock.advance(self._dfs.network.local_latency)
-        node = None
         parts: list[bytes] = []
         first = offset // chunk_size
         last = (offset + length - 1) // chunk_size
@@ -389,10 +503,8 @@ class DFSReader:
             chunk_start = chunk_no * chunk_size
             data = cache.get(block.block_id, chunk_no)
             if data is None:
-                if node is None:
-                    node = self._pick_replica(block)
                 take = min(chunk_size, block.length - chunk_start)
-                data, cost = node.read_replica(block.block_id, chunk_start, take)
+                data, cost, node = self._failover_read(block, chunk_start, take)
                 if node.machine is not self._reader:
                     self._reader.clock.advance(
                         cost + self._dfs.network.transfer_cost(take)
@@ -404,20 +516,74 @@ class DFSReader:
             parts.append(data[lo:hi])
         return b"".join(parts)
 
-    def _pick_replica(self, block: BlockInfo) -> DataNode:
+    def _failover_read(
+        self, block: BlockInfo, offset: int, length: int
+    ) -> tuple[bytes, float, DataNode]:
+        """Read a range, failing over across replicas.
+
+        Candidates are tried in locality order (local, rack, any).  A
+        candidate that turns out dead, holds a short/stale copy, or —
+        when the DFS verifies reads — fails checksum verification is
+        pruned from the block's locations and the next replica is tried;
+        failed attempts charge nothing (liveness comes from heartbeats).
+
+        Returns:
+            ``(payload, disk_seconds, serving_node)``.
+
+        Raises:
+            DataNodeDownError: if no live, reachable replica remains.
+            ReplicaCorruptError / BlockCorruptionError: if every remaining
+                replica is damaged.
+        """
+        last_exc: Exception | None = None
+        for node in self._replica_candidates(block):
+            if self._dfs.verify_reads and not node.verify_replica(block.block_id):
+                self._drop_bad_replica(block, node, corrupt=True)
+                last_exc = ReplicaCorruptError(
+                    f"replica of block {block.block_id} on {node.name} "
+                    f"failed checksum verification"
+                )
+                continue
+            try:
+                payload, cost = node.read_replica(block.block_id, offset, length)
+            except (DataNodeDownError, BlockCorruptionError) as exc:
+                self._drop_bad_replica(
+                    block, node, corrupt=isinstance(exc, BlockCorruptionError)
+                )
+                last_exc = exc
+                continue
+            return payload, cost, node
+        if last_exc is not None:
+            raise last_exc
+        raise DataNodeDownError(
+            f"all replicas of block {block.block_id} are down"
+        )
+
+    def _drop_bad_replica(
+        self, block: BlockInfo, node: DataNode, corrupt: bool
+    ) -> None:
+        self._dfs._prune_replicas(block, [node.name], self._reader)
+        self._reader.counters.add(DFS_READ_FAILOVERS)
+        if corrupt:
+            self._reader.counters.add(DFS_CORRUPT_REPLICAS)
+
+    def _replica_candidates(self, block: BlockInfo) -> list[DataNode]:
+        """Live, reachable replicas in the order reads should try them:
+        the reader's local datanode, then same-rack, then the rest (the
+        seed's ``_pick_replica`` preference, extended to a full ordering
+        for failover)."""
         live = [
             self._dfs.datanodes[name]
             for name in block.locations
             if self._dfs.datanodes[name].alive
+            and self._dfs.network.reachable(self._reader.name, name)
         ]
-        if not live:
-            raise DataNodeDownError(
-                f"all replicas of block {block.block_id} are down"
-            )
-        for node in live:
-            if node.machine is self._reader:
-                return node
-        for node in live:
-            if node.machine.rack == self._reader.rack:
-                return node
-        return live[0]
+        local = [n for n in live if n.machine is self._reader]
+        rack = [
+            n
+            for n in live
+            if n.machine is not self._reader
+            and n.machine.rack == self._reader.rack
+        ]
+        rest = [n for n in live if n not in local and n not in rack]
+        return local + rack + rest

@@ -23,21 +23,43 @@ from repro.errors import (
 class NameNode:
     """Namespace and block-location manager for the simulated DFS."""
 
-    def __init__(self, replication: int = 3) -> None:
+    def __init__(self, replication: int = 3, *, allow_degraded: bool = False) -> None:
         if replication < 1:
             raise ValueError("replication factor must be >= 1")
         self.replication = replication
+        # Degraded allocation: when fewer datanodes are live than the
+        # replication factor, place new blocks on the survivors and queue
+        # them for repair instead of refusing the write (availability
+        # during failures; off by default to keep the seed's strictness).
+        self.allow_degraded = allow_degraded
         self._files: dict[str, FileMeta] = {}
         self._next_block_id = itertools.count(1)
         self._placement_rotor = itertools.count(0)
         # datanode name -> rack, registered by the DFS facade
         self._racks: dict[str, str] = {}
+        # Block ids reported under-replicated by the append pipeline or the
+        # read path; drained by heartbeat-driven re-replication.
+        self.under_replicated: set[int] = set()
 
     # -- datanode membership -------------------------------------------------
 
     def register_datanode(self, name: str, rack: str) -> None:
         """Record a datanode and its rack for placement decisions."""
         self._racks[name] = rack
+
+    def rack_of(self, name: str) -> str | None:
+        """Rack of a registered datanode, or None if unknown."""
+        return self._racks.get(name)
+
+    def report_under_replicated(self, block_id: int) -> None:
+        """Record that ``block_id`` has lost a replica (pipeline or read
+        path detected a dead/corrupt copy); the heartbeat pass repairs it."""
+        self.under_replicated.add(block_id)
+
+    def clear_under_replicated(self, block_id: int) -> None:
+        """Drop ``block_id`` from the repair queue (replica count restored
+        or the block's file was deleted)."""
+        self.under_replicated.discard(block_id)
 
     # -- namespace -----------------------------------------------------------
 
@@ -99,20 +121,25 @@ class NameNode:
 
         Raises:
             ReplicationError: if fewer live datanodes exist than the
-                replication factor.
+                replication factor (unless degraded allocation is on).
         """
         meta = self.get_file(path)
         locations = self._place(writer, alive)
         block = BlockInfo(block_id=next(self._next_block_id), locations=locations)
         meta.blocks.append(block)
+        if len(locations) < self.replication:
+            self.report_under_replicated(block.block_id)
         return block
 
     def _place(self, writer: str, alive: set[str]) -> list[str]:
         candidates = [name for name in self._racks if name in alive]
-        if len(candidates) < self.replication:
-            raise ReplicationError(
-                f"need {self.replication} live datanodes, have {len(candidates)}"
-            )
+        want = self.replication
+        if len(candidates) < want:
+            if not self.allow_degraded or not candidates:
+                raise ReplicationError(
+                    f"need {self.replication} live datanodes, have {len(candidates)}"
+                )
+            want = len(candidates)
         # Deterministic spread: rotate remote-replica choice per block so
         # no single node absorbs every second replica (HDFS randomizes;
         # a fixed choice would create the hotspot randomization avoids).
@@ -126,10 +153,10 @@ class NameNode:
         first_rack = self._racks[chosen[0]]
         # 2. different rack if one exists
         remote = [n for n in candidates if n not in chosen and self._racks[n] != first_rack]
-        if remote and len(chosen) < self.replication:
+        if remote and len(chosen) < want:
             chosen.append(remote[salt % len(remote)])
         # 3. same rack as the second replica, different node
-        if len(chosen) >= 2 and len(chosen) < self.replication:
+        if len(chosen) >= 2 and len(chosen) < want:
             second_rack = self._racks[chosen[1]]
             peers = [
                 n
@@ -140,7 +167,7 @@ class NameNode:
                 chosen.append(peers[salt % len(peers)])
         # 4. fill remaining slots round-robin
         for offset in range(len(candidates)):
-            if len(chosen) == self.replication:
+            if len(chosen) == want:
                 break
             name = candidates[(salt + offset) % len(candidates)]
             if name not in chosen:

@@ -45,6 +45,16 @@ class DataNodeDownError(DFSError):
     """The datanode addressed by a read or write is not alive."""
 
 
+class ReplicaCorruptError(DFSError):
+    """A replica failed checksum verification on the read path; the reader
+    should fail over to another replica."""
+
+
+class NetworkPartitionError(LogBaseError):
+    """The destination machine is unreachable under the active network
+    partition."""
+
+
 # ---------------------------------------------------------------------------
 # Log repository
 # ---------------------------------------------------------------------------

@@ -65,6 +65,17 @@ class SimDisk:
         self.counters = counters if counters is not None else Counters()
         # Head position: (file_id, byte offset just past the last access).
         self._head: tuple[int, int] | None = None
+        # Degraded-mode multiplier (fault injection); 1.0 = healthy.
+        self._slowdown = 1.0
+
+    def set_slowdown(self, factor: float) -> None:
+        """Degrade (or restore) the disk: every access costs ``factor`` times
+        the healthy model.  Used by fault injection to model a failing or
+        contended disk without killing the node.
+        """
+        if factor <= 0:
+            raise ValueError("slowdown factor must be positive")
+        self._slowdown = factor
 
     def _charge(self, file_id: int, offset: int, nbytes: int, write: bool) -> float:
         sequential = self._head == (file_id, offset)
@@ -73,6 +84,7 @@ class SimDisk:
         else:
             cost = self.model.random_access_cost(nbytes)
             self.counters.add("disk.seeks")
+        cost *= self._slowdown
         self._head = (file_id, offset + nbytes)
         self.clock.advance(cost)
         if write:
@@ -97,7 +109,7 @@ class SimDisk:
         position is unaffected.  This is how HDFS datanodes persist block
         appends, and why log appends stay cheap even when reads interleave
         (the paper's sub-millisecond update latencies, Figure 13)."""
-        cost = self.model.sequential_cost(nbytes)
+        cost = self.model.sequential_cost(nbytes) * self._slowdown
         self.clock.advance(cost)
         self.counters.add("disk.bytes_written", nbytes)
         self.counters.add("disk.writes")

@@ -10,6 +10,7 @@ compete for the same disk head).
 
 from __future__ import annotations
 
+from repro.errors import NetworkPartitionError
 from repro.sim.clock import SimClock
 from repro.sim.disk import DiskModel, SimDisk
 from repro.sim.metrics import Counters
@@ -55,7 +56,15 @@ class Machine:
 
         Returns the seconds charged.  Same-machine transfers use loopback
         cost.
+
+        Raises:
+            NetworkPartitionError: if an active partition separates this
+                machine from ``peer`` (no partition active by default).
         """
+        if not self.network.reachable(self.name, peer.name):
+            raise NetworkPartitionError(
+                f"{self.name} cannot reach {peer.name}: network partitioned"
+            )
         cost = self.network.transfer_cost(nbytes, local=peer is self)
         self.clock.advance(cost)
         self.counters.add("net.bytes_sent", nbytes)

@@ -17,6 +17,14 @@ READ_MANY_RECORDS = "log.read_many.records"
 READ_MANY_SPANS = "log.read_many.spans"
 SCAN_PREFETCH_WINDOWS = "log.scan.prefetch_windows"
 
+# Canonical counter names for the fault-tolerance layer (PR 2).
+DFS_UNDER_REPLICATED = "dfs.under_replicated"
+DFS_REREPLICATIONS = "dfs.rereplications"
+DFS_READ_FAILOVERS = "dfs.read_failovers"
+DFS_CORRUPT_REPLICAS = "dfs.corrupt_replicas"
+CLIENT_RETRIES = "client.retries"
+CHAOS_FAULTS_FIRED = "chaos.faults_fired"
+
 
 class Counters:
     """A bag of named integer/float counters.

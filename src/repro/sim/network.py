@@ -5,11 +5,58 @@ and 200 microseconds of per-message latency.  Transfers between two
 processes on the *same* node (e.g. a tablet server writing to the datanode
 co-located with it, which is how both HBase and LogBase deploy) are charged
 only local loopback latency.
+
+The model also carries the cluster's *partition state*: fault-injection
+splits machines into connectivity groups and every cost-charging transfer
+point (machine sends, the DFS replication pipeline, client RPCs) consults
+:meth:`NetworkModel.reachable` before moving bytes.  With no partition
+active — the default — every pair is reachable and nothing changes.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+
+
+class PartitionState:
+    """Mutable connectivity state shared by every machine on one network.
+
+    A partition is a set of named groups; two machines can talk iff they
+    are in the same group.  Machines not named in any group form one
+    implicit group of their own (they can talk to each other but to no
+    partitioned group).  ``heal()`` restores full connectivity.
+    """
+
+    def __init__(self) -> None:
+        self._group_of: dict[str, int] | None = None
+
+    @property
+    def active(self) -> bool:
+        """Whether any partition is currently in force."""
+        return self._group_of is not None
+
+    def partition(self, *groups: list[str] | tuple[str, ...] | set[str]) -> None:
+        """Split the network: machines in different groups cannot talk."""
+        mapping: dict[str, int] = {}
+        for group_no, names in enumerate(groups):
+            for name in names:
+                mapping[name] = group_no
+        self._group_of = mapping
+
+    def isolate(self, name: str) -> None:
+        """Cut one machine off from everybody else."""
+        self.partition([name])
+
+    def heal(self) -> None:
+        """Restore full connectivity."""
+        self._group_of = None
+
+    def reachable(self, a: str, b: str) -> bool:
+        """Whether machine ``a`` can currently reach machine ``b``."""
+        if self._group_of is None or a == b:
+            return True
+        # Unnamed machines share the implicit group -1.
+        return self._group_of.get(a, -1) == self._group_of.get(b, -1)
 
 
 @dataclass(frozen=True)
@@ -20,11 +67,19 @@ class NetworkModel:
         latency: one-way message latency in seconds.
         bandwidth: link bandwidth in bytes/second.
         local_latency: latency for same-node loopback messages.
+        partitions: shared mutable partition state (fault injection).
     """
 
     latency: float = 0.0002
     bandwidth: float = 125e6
     local_latency: float = 0.00002
+    partitions: PartitionState = field(
+        default_factory=PartitionState, compare=False, repr=False
+    )
+
+    def reachable(self, a: str, b: str) -> bool:
+        """Whether machine ``a`` can currently reach machine ``b``."""
+        return self.partitions.reachable(a, b)
 
     def transfer_cost(self, nbytes: int, *, local: bool = False) -> float:
         """Seconds to move ``nbytes`` in one message."""

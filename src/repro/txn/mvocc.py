@@ -27,6 +27,7 @@ from repro.coordination.tso import TimestampOracle
 from repro.coordination.znodes import CoordinationService, Session
 from repro.core.master import Master
 from repro.errors import LogBaseError, TransactionAborted, ValidationConflict
+from repro.sim.failure import CP_TXN_POST_COMMIT, CP_TXN_PRE_COMMIT, crash_point
 from repro.txn.transaction import Slot, Transaction, TxnStatus
 from repro.txn.twopc import TwoPhaseCoordinator
 from repro.wal.record import LogRecord, RecordType, commit_record
@@ -259,9 +260,13 @@ class TransactionManager:
             # The common, entity-group-friendly case: no 2PC needed (§3.2).
             (server_name, records), = by_server.items()
             server = self._master.server(server_name)
+            crash_point(CP_TXN_PRE_COMMIT, txn=txn.txn_id, server=server_name)
             appended = server.append_transactional(
                 records + [commit_record(txn.txn_id, commit_ts)]
             )
+            # The commit record is durable here; a crash before the apply
+            # below loses only in-memory state, and redo re-applies it.
+            crash_point(CP_TXN_POST_COMMIT, txn=txn.txn_id, server=server_name)
             server.apply_committed(appended)
         else:
             coordinator = TwoPhaseCoordinator(self._master)

@@ -23,6 +23,7 @@ from __future__ import annotations
 from collections import defaultdict
 from dataclasses import dataclass, field
 
+from repro.sim.failure import CP_COMPACTION_MID, crash_point
 from repro.wal.record import LogPointer, LogRecord, RecordType
 from repro.wal.repository import LogRepository
 
@@ -190,6 +191,11 @@ class CompactionJob:
             result.new_segments.append(segment.file_no)
 
         # ---- install: retire inputs, persist slim metadata ----------------
+        # A crash before the install below leaves the sorted runs written
+        # but the input segments still live: every record remains readable
+        # through the old segments and the half-written runs are garbage
+        # the next compaction overwrites — compaction is crash-safe.
+        crash_point(CP_COMPACTION_MID, machine=self._repo.machine.name)
         self._repo.retire_segments(result.retired_segments)
         self._repo.persist_meta()
         return result

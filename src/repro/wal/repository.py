@@ -20,6 +20,7 @@ from typing import Iterator
 
 from repro.dfs.filesystem import DFS
 from repro.errors import InvalidLogPointer
+from repro.sim.failure import CP_LOG_APPEND, crash_point
 from repro.sim.machine import Machine
 from repro.sim.metrics import READ_MANY_CALLS, READ_MANY_RECORDS, READ_MANY_SPANS
 from repro.wal.record import LogPointer, LogRecord
@@ -161,6 +162,7 @@ class LogRepository:
 
     def append(self, record: LogRecord) -> tuple[LogPointer, LogRecord]:
         """Assign an LSN, durably append, and return (pointer, stamped record)."""
+        crash_point(CP_LOG_APPEND, machine=self._machine.name, root=self._root)
         stamped = record.with_lsn(self._next_lsn)
         self._next_lsn += 1
         encoded = stamped.encode()
@@ -173,6 +175,7 @@ class LogRepository:
         """Group-commit append: one DFS round trip for the whole batch."""
         if not records:
             return []
+        crash_point(CP_LOG_APPEND, machine=self._machine.name, root=self._root)
         stamped = []
         encoded = []
         for record in records:

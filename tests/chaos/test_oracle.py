@@ -1,0 +1,128 @@
+"""Unit tests for the durability oracle's contract checks."""
+
+from repro.chaos.oracle import (
+    DurabilityOracle,
+    WriteStatus,
+    decode_value,
+    encode_value,
+)
+
+
+def test_value_roundtrip():
+    assert decode_value(encode_value(42)) == 42
+    assert decode_value(b"garbage") is None
+    assert decode_value(b"s1234567x") is None
+    assert decode_value(b"") is None
+
+
+def test_sequence_numbers_are_unique_and_monotone():
+    oracle = DurabilityOracle()
+    seqs = [oracle.next_value()[0] for _ in range(5)]
+    assert seqs == sorted(set(seqs))
+
+
+def test_acked_write_must_be_readable():
+    oracle = DurabilityOracle()
+    seq, value = oracle.next_value()
+    oracle.record(b"k", seq, WriteStatus.ACKED)
+    assert oracle.verify(lambda key: value) == []
+    lost = oracle.verify(lambda key: None)
+    assert len(lost) == 1 and "lost" in lost[0]
+
+
+def test_acked_write_must_not_be_shadowed_by_older_value():
+    oracle = DurabilityOracle()
+    old_seq, old_value = oracle.next_value()
+    new_seq, new_value = oracle.next_value()
+    oracle.record(b"k", old_seq, WriteStatus.ACKED)
+    oracle.record(b"k", new_seq, WriteStatus.ACKED)
+    assert oracle.verify(lambda key: new_value) == []
+    shadowed = oracle.verify(lambda key: old_value)
+    assert len(shadowed) == 1 and "shadowed" in shadowed[0]
+
+
+def test_ghost_value_is_flagged():
+    oracle = DurabilityOracle()
+    seq, _ = oracle.next_value()
+    oracle.record(b"k", seq, WriteStatus.ACKED)
+    ghosts = oracle.verify(lambda key: encode_value(999))
+    assert len(ghosts) == 1 and "ghost" in ghosts[0]
+
+
+def test_cleanly_aborted_write_must_stay_invisible():
+    oracle = DurabilityOracle()
+    seq, value = oracle.next_value()
+    oracle.record(b"k", seq, WriteStatus.ABORTED)
+    assert oracle.verify(lambda key: None) == []
+    visible = oracle.verify(lambda key: value)
+    assert len(visible) == 1 and "aborted" in visible[0]
+
+
+def test_indeterminate_write_may_go_either_way():
+    oracle = DurabilityOracle()
+    seq, value = oracle.next_value()
+    oracle.record(b"k", seq, WriteStatus.INDETERMINATE)
+    assert oracle.verify(lambda key: value) == []
+    assert oracle.verify(lambda key: None) == []
+
+
+def test_retry_upgrades_indeterminate_to_acked():
+    oracle = DurabilityOracle()
+    seq, value = oracle.next_value()
+    oracle.record(b"k", seq, WriteStatus.INDETERMINATE)
+    oracle.record(b"k", seq, WriteStatus.ACKED)
+    assert oracle.last_acked(b"k") == seq
+    # Now the write is a promise: losing it is a violation.
+    assert len(oracle.verify(lambda key: None)) == 1
+
+
+def test_ack_never_downgraded():
+    oracle = DurabilityOracle()
+    seq, _ = oracle.next_value()
+    oracle.record(b"k", seq, WriteStatus.ACKED)
+    oracle.record(b"k", seq, WriteStatus.INDETERMINATE)
+    assert oracle.last_acked(b"k") == seq
+
+
+def test_indeterminate_txn_must_be_atomic():
+    oracle = DurabilityOracle()
+    seq_a, value_a = oracle.next_value()
+    seq_b, value_b = oracle.next_value()
+    members = {b"a": seq_a, b"b": seq_b}
+    oracle.record_txn(members, WriteStatus.INDETERMINATE)
+
+    def all_visible(key):
+        return {b"a": value_a, b"b": value_b}[key]
+
+    def none_visible(key):
+        return None
+
+    def torn(key):
+        return {b"a": value_a, b"b": None}[key]
+
+    assert oracle.verify(all_visible) == []
+    assert oracle.verify(none_visible) == []
+    problems = oracle.verify(torn)
+    assert len(problems) == 1 and "torn" in problems[0]
+
+
+def test_acked_txn_members_checked_per_key():
+    oracle = DurabilityOracle()
+    seq_a, value_a = oracle.next_value()
+    seq_b, _ = oracle.next_value()
+    oracle.record_txn({b"a": seq_a, b"b": seq_b}, WriteStatus.ACKED)
+    problems = oracle.verify(lambda key: value_a if key == b"a" else None)
+    assert len(problems) == 1 and "lost" in problems[0]
+
+
+def test_counts_by_status():
+    oracle = DurabilityOracle()
+    for status in (
+        WriteStatus.ACKED,
+        WriteStatus.ACKED,
+        WriteStatus.ABORTED,
+        WriteStatus.INDETERMINATE,
+    ):
+        seq, _ = oracle.next_value()
+        oracle.record(b"k%d" % seq, seq, status)
+    assert oracle.counts() == {"acked": 2, "aborted": 1, "indeterminate": 1}

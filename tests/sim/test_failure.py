@@ -1,0 +1,226 @@
+"""Unit tests for failure injection: injector bookkeeping and fault plans."""
+
+import pytest
+
+from repro.sim.failure import (
+    CP_LOG_APPEND,
+    CP_TXN_PRE_COMMIT,
+    FailureInjector,
+    FaultPlan,
+    crash_point,
+    fault_plan,
+    kill_action,
+)
+from repro.sim.machine import Machine
+
+
+@pytest.fixture
+def injector():
+    inj = FailureInjector()
+    inj.register("node-0", Machine("node-0"))
+    inj.register("node-1", Machine("node-1"))
+    return inj
+
+
+# -- FailureInjector bookkeeping --------------------------------------------
+
+
+def test_kill_revive_kill_leaves_one_killed_entry(injector):
+    injector.kill("node-0")
+    assert injector.killed == ["node-0"]
+    injector.revive("node-0")
+    assert injector.killed == []
+    assert injector.is_alive("node-0")
+    injector.kill("node-0")
+    assert injector.killed == ["node-0"]
+    # History is append-only: both kills are remembered.
+    assert injector.kill_history == ["node-0", "node-0"]
+
+
+def test_kill_dead_node_is_noop(injector):
+    injector.kill("node-0")
+    injector.kill("node-0")
+    assert injector.killed == ["node-0"]
+    assert injector.kill_history == ["node-0"]
+
+
+def test_revive_live_node_is_noop(injector):
+    injector.revive("node-0")
+    assert injector.killed == []
+    assert injector.is_alive("node-0")
+
+
+def test_revive_uses_restart_when_available(injector):
+    calls = []
+
+    class Node:
+        alive = True
+
+        def fail(self):
+            self.alive = False
+
+        def restart(self):
+            calls.append("restart")
+            self.alive = True
+
+    injector.register("custom", Node())
+    injector.kill("custom")
+    injector.revive("custom")
+    assert calls == ["restart"]
+    assert injector.is_alive("custom")
+
+
+def test_revive_flips_alive_without_restart(injector):
+    class Node:
+        alive = True
+
+        def fail(self):
+            self.alive = False
+
+    injector.register("bare", Node())
+    injector.kill("bare")
+    injector.revive("bare")
+    assert injector.is_alive("bare")
+
+
+def test_alive_nodes_tracks_state(injector):
+    assert sorted(injector.alive_nodes()) == ["node-0", "node-1"]
+    injector.kill("node-1")
+    assert injector.alive_nodes() == ["node-0"]
+
+
+def test_degrade_slows_disk_and_restores(injector):
+    machine = injector.node("node-0")
+    healthy = machine.disk.read(1, 0, 1 << 20)
+    injector.degrade("node-0", 4.0)
+    degraded = machine.disk.read(1, 0, 1 << 20)
+    assert degraded == pytest.approx(4.0 * healthy)
+    injector.degrade("node-0", 1.0)
+    assert machine.disk.read(1, 0, 1 << 20) == pytest.approx(healthy)
+
+
+def test_degrade_without_disk_raises(injector):
+    class Diskless:
+        alive = True
+
+        def fail(self):
+            self.alive = False
+
+    injector.register("diskless", Diskless())
+    with pytest.raises(TypeError):
+        injector.degrade("diskless", 2.0)
+
+
+def test_unknown_node_raises_keyerror(injector):
+    with pytest.raises(KeyError):
+        injector.kill("ghost")
+    with pytest.raises(KeyError):
+        injector.revive("ghost")
+
+
+# -- crash points and fault plans -------------------------------------------
+
+
+def test_crash_point_is_noop_without_active_plan():
+    crash_point(CP_LOG_APPEND, machine="node-0")  # must not raise
+
+
+def test_rule_fires_on_nth_matching_hit():
+    plan = FaultPlan()
+    fired = []
+    plan.add(CP_LOG_APPEND, fired.append, hits=3)
+    with fault_plan(plan):
+        for _ in range(5):
+            crash_point(CP_LOG_APPEND)
+    assert len(fired) == 1
+    assert len(plan.fired) == 1
+
+
+def test_rule_matches_context_items():
+    plan = FaultPlan()
+    fired = []
+    plan.add(CP_LOG_APPEND, fired.append, machine="node-1")
+    with fault_plan(plan):
+        crash_point(CP_LOG_APPEND, machine="node-0")  # wrong machine
+        crash_point(CP_LOG_APPEND)  # no machine at all
+        crash_point(CP_LOG_APPEND, machine="node-1")
+    assert fired == [{"machine": "node-1"}]
+
+
+def test_repeat_rule_fires_every_nth_hit():
+    plan = FaultPlan()
+    fired = []
+    plan.add(CP_LOG_APPEND, fired.append, hits=2, repeat=True)
+    with fault_plan(plan):
+        for _ in range(6):
+            crash_point(CP_LOG_APPEND)
+    assert len(fired) == 3
+
+
+def test_non_repeat_rule_fires_once():
+    plan = FaultPlan()
+    fired = []
+    plan.add(CP_LOG_APPEND, fired.append)
+    with fault_plan(plan):
+        for _ in range(4):
+            crash_point(CP_LOG_APPEND)
+    assert len(fired) == 1
+
+
+def test_plan_records_fired_point_and_context():
+    plan = FaultPlan()
+    plan.add(CP_TXN_PRE_COMMIT, lambda ctx: None, server="ts-node-0")
+    with fault_plan(plan):
+        crash_point(CP_TXN_PRE_COMMIT, server="ts-node-0", txn=7)
+    assert plan.fired == [(CP_TXN_PRE_COMMIT, {"server": "ts-node-0", "txn": 7})]
+
+
+def test_fault_plan_nesting_restores_previous_plan():
+    outer, inner = FaultPlan(), FaultPlan()
+    outer_hits, inner_hits = [], []
+    outer.add(CP_LOG_APPEND, outer_hits.append, repeat=True)
+    inner.add(CP_LOG_APPEND, inner_hits.append, repeat=True)
+    with fault_plan(outer):
+        crash_point(CP_LOG_APPEND)
+        with fault_plan(inner):
+            crash_point(CP_LOG_APPEND)
+        crash_point(CP_LOG_APPEND)
+    crash_point(CP_LOG_APPEND)  # no plan active: silent
+    assert len(outer_hits) == 2
+    assert len(inner_hits) == 1
+
+
+def test_plan_deactivated_after_exception():
+    injector = FailureInjector()
+    injector.register("x", Machine("x"))
+    plan = FaultPlan()
+    plan.add(CP_LOG_APPEND, kill_action(injector, "x", RuntimeError("crash")))
+    with pytest.raises(RuntimeError):
+        with fault_plan(plan):
+            crash_point(CP_LOG_APPEND)
+    crash_point(CP_LOG_APPEND)  # plan must be disarmed again
+
+
+def test_kill_action_kills_and_raises():
+    injector = FailureInjector()
+    injector.register("node-0", Machine("node-0"))
+    plan = FaultPlan()
+    plan.add(
+        CP_LOG_APPEND,
+        kill_action(injector, "node-0", RuntimeError("power cut")),
+    )
+    with fault_plan(plan):
+        with pytest.raises(RuntimeError, match="power cut"):
+            crash_point(CP_LOG_APPEND)
+    assert not injector.is_alive("node-0")
+    assert injector.killed == ["node-0"]
+
+
+def test_kill_action_without_exception_continues():
+    injector = FailureInjector()
+    injector.register("node-0", Machine("node-0"))
+    plan = FaultPlan()
+    plan.add(CP_LOG_APPEND, kill_action(injector, "node-0"))
+    with fault_plan(plan):
+        crash_point(CP_LOG_APPEND)  # kills silently, no exception
+    assert not injector.is_alive("node-0")

@@ -1,8 +1,10 @@
-"""Unit tests for the network cost model."""
+"""Unit tests for the network cost model and partition state."""
 
 import pytest
 
-from repro.sim.network import NetworkModel
+from repro.errors import NetworkPartitionError
+from repro.sim.machine import Machine
+from repro.sim.network import NetworkModel, PartitionState
 
 
 def test_transfer_includes_latency_and_bandwidth():
@@ -23,3 +25,64 @@ def test_rpc_is_two_transfers():
 def test_bigger_payloads_cost_more():
     net = NetworkModel()
     assert net.transfer_cost(1 << 20) > net.transfer_cost(1 << 10)
+
+
+# -- partitions --------------------------------------------------------------
+
+
+def test_everything_reachable_by_default():
+    state = PartitionState()
+    assert not state.active
+    assert state.reachable("a", "b")
+
+
+def test_partition_splits_groups():
+    state = PartitionState()
+    state.partition(["a", "b"], ["c"])
+    assert state.active
+    assert state.reachable("a", "b")
+    assert not state.reachable("a", "c")
+    assert not state.reachable("c", "b")
+
+
+def test_unnamed_machines_share_implicit_group():
+    state = PartitionState()
+    state.partition(["a"])
+    # x and y are not named in any group: they can still talk to each
+    # other, but not to the isolated machine.
+    assert state.reachable("x", "y")
+    assert not state.reachable("x", "a")
+
+
+def test_isolate_cuts_one_machine_off():
+    state = PartitionState()
+    state.isolate("a")
+    assert not state.reachable("a", "b")
+    assert state.reachable("b", "c")
+
+
+def test_self_reachable_even_when_isolated():
+    state = PartitionState()
+    state.isolate("a")
+    assert state.reachable("a", "a")
+
+
+def test_heal_restores_connectivity():
+    state = PartitionState()
+    state.partition(["a"], ["b"])
+    state.heal()
+    assert not state.active
+    assert state.reachable("a", "b")
+
+
+def test_send_across_partition_raises():
+    net = NetworkModel()
+    a = Machine("a", network=net)
+    b = Machine("b", network=net)
+    net.partitions.isolate("b")
+    with pytest.raises(NetworkPartitionError):
+        a.send(b, 100)
+    # The failed send charges nothing and moves nothing.
+    assert a.clock.now == 0.0
+    net.partitions.heal()
+    assert a.send(b, 100) > 0.0
