@@ -10,6 +10,7 @@ readable, no cleanly-aborted write is visible, and indeterminate commits
 are atomic (all-or-nothing).
 """
 
+from repro.chaos.gray import GRAY_SCHEDULES, GraySchedule, run_gray
 from repro.chaos.oracle import DurabilityOracle, WriteStatus
 from repro.chaos.runner import ChaosReport, run_chaos
 from repro.chaos.schedules import SCHEDULES, ChaosSchedule
@@ -18,7 +19,10 @@ __all__ = [
     "ChaosReport",
     "ChaosSchedule",
     "DurabilityOracle",
+    "GRAY_SCHEDULES",
+    "GraySchedule",
     "SCHEDULES",
     "WriteStatus",
     "run_chaos",
+    "run_gray",
 ]

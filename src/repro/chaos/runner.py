@@ -33,7 +33,15 @@ from repro.errors import (
     TransactionAborted,
 )
 from repro.sim.failure import FaultPlan, fault_plan
-from repro.sim.metrics import CLIENT_RETRIES
+from repro.sim.metrics import (
+    ADMISSION_SHED,
+    BREAKER_TRIPS,
+    CLIENT_RETRIES,
+    DEADLINES_EXCEEDED,
+    DFS_HEDGE_FIRED,
+    DFS_HEDGE_LOSSES,
+    DFS_HEDGE_WINS,
+)
 
 TABLE = "chaos"
 GROUP = "g"
@@ -66,6 +74,17 @@ class ChaosReport:
     under_replicated_after: int = 0
     keys_checked: int = 0
     violations: list[str] = field(default_factory=list)
+    events_run: int = 0
+    reads: int = 0
+    read_p50: float = 0.0
+    read_p99: float = 0.0
+    read_max: float = 0.0
+    hedges_fired: int = 0
+    hedge_wins: int = 0
+    hedge_losses: int = 0
+    breaker_trips: int = 0
+    admission_sheds: int = 0
+    deadline_exceeded: int = 0
 
     @property
     def passed(self) -> bool:
@@ -90,7 +109,27 @@ class ChaosReport:
             "keys_checked": self.keys_checked,
             "violations": self.violations,
             "passed": self.passed,
+            "events_run": self.events_run,
+            "reads": self.reads,
+            "read_p50": self.read_p50,
+            "read_p99": self.read_p99,
+            "read_max": self.read_max,
+            "hedges_fired": self.hedges_fired,
+            "hedge_wins": self.hedge_wins,
+            "hedge_losses": self.hedge_losses,
+            "breaker_trips": self.breaker_trips,
+            "admission_sheds": self.admission_sheds,
+            "deadline_exceeded": self.deadline_exceeded,
         }
+
+
+def _percentile(samples: list[float], q: float) -> float:
+    """Nearest-rank percentile of ``samples`` (0 when empty)."""
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    rank = min(len(ordered) - 1, max(0, int(round(q * (len(ordered) - 1)))))
+    return ordered[rank]
 
 
 class _Workload:
@@ -104,6 +143,7 @@ class _Workload:
         self.rescued_ops = 0
         self.expired: list[str] = []
         self.rereplicated = 0
+        self.read_latencies: list[float] = []
         self._used_keys: set[bytes] = set()
         self._overwrite_pool: list[bytes] = []
         # Key ranges per tablet, so transaction keys can be co-located on
@@ -205,17 +245,23 @@ class _Workload:
         if not self._overwrite_pool:
             return None
         key = self.rng.choice(self._overwrite_pool)
+        # Track the latency of every read attempt, failed ones included —
+        # gray-failure mitigation is judged on the tail of this series.
+        self.client.last_op_seconds = 0.0
         try:
-            value = self.client.get_raw(TABLE, key, GROUP)
-        except ServerDownError:
-            self._rescue()
             try:
                 value = self.client.get_raw(TABLE, key, GROUP)
+            except ServerDownError:
+                self._rescue()
+                try:
+                    value = self.client.get_raw(TABLE, key, GROUP)
+                except LogBaseError:
+                    return None  # still failing over; final verify covers it
             except LogBaseError:
-                return None  # still failing over; final verify covers it
-        except LogBaseError:
-            return None
-        return self.oracle.check_read(key, value)
+                return None
+            return self.oracle.check_read(key, value)
+        finally:
+            self.read_latencies.append(self.client.last_op_seconds)
 
     def checkpoint_all(self) -> None:
         for server in self.db.cluster.servers:
@@ -243,20 +289,25 @@ def run_chaos(
     *,
     n_nodes: int = 4,
     config: LogBaseConfig | None = None,
+    schedules: dict[str, "object"] | None = None,
 ) -> ChaosReport:
     """Execute one chaos scenario and verify the durability contract.
 
     Args:
-        scenario: key into :data:`repro.chaos.schedules.SCHEDULES`.
+        scenario: key into ``schedules`` (default
+            :data:`repro.chaos.schedules.SCHEDULES`).
         seed: workload RNG seed (the fault schedule itself is fixed; the
             seed varies which operations the faults land on).
         ops: workload operations before recovery + verification.
+        schedules: alternative schedule registry (e.g.
+            :data:`repro.chaos.gray.GRAY_SCHEDULES`).
 
     Raises:
         KeyError: unknown scenario name.
         ValueError: cluster too small for the standard chaos topology.
     """
-    schedule = SCHEDULES[scenario]
+    registry = schedules if schedules is not None else SCHEDULES
+    schedule = registry[scenario]
     if n_nodes < 4:
         raise ValueError("chaos topology needs >= 4 nodes")
     if config is None:
@@ -277,6 +328,7 @@ def run_chaos(
             event = events.get(i)
             if event is not None:
                 event()
+                report.events_run += 1
             if i == checkpoint_at:
                 workload.checkpoint_all()
             elif i == compact_at:
@@ -324,9 +376,18 @@ def run_chaos(
         if name not in report.expired_servers:
             report.expired_servers.append(name)
     report.rereplicated += workload.rereplicated
-    report.client_retries = int(
-        db.cluster.total_counters().get(CLIENT_RETRIES, 0)
-    )
+    totals = db.cluster.total_counters()
+    report.client_retries = int(totals.get(CLIENT_RETRIES, 0))
+    report.hedges_fired = int(totals.get(DFS_HEDGE_FIRED, 0))
+    report.hedge_wins = int(totals.get(DFS_HEDGE_WINS, 0))
+    report.hedge_losses = int(totals.get(DFS_HEDGE_LOSSES, 0))
+    report.breaker_trips = int(totals.get(BREAKER_TRIPS, 0))
+    report.admission_sheds = int(totals.get(ADMISSION_SHED, 0))
+    report.deadline_exceeded = int(totals.get(DEADLINES_EXCEEDED, 0))
+    report.reads = len(workload.read_latencies)
+    report.read_p50 = _percentile(workload.read_latencies, 0.50)
+    report.read_p99 = _percentile(workload.read_latencies, 0.99)
+    report.read_max = max(workload.read_latencies, default=0.0)
     report.under_replicated_after = len(
         db.cluster.dfs.namenode.under_replicated
     )

@@ -69,6 +69,33 @@ class LogBaseConfig:
             0 keeps the seed behaviour: invalidate the cache and raise.
         client_retry_backoff: simulated seconds charged to the client
             before the first retry; doubles per attempt.
+        client_retry_backoff_max: cap on one backoff wait — the doubling
+            stops growing here instead of running away exponentially.
+        gray_resilience: master gate for the gray-failure resilience
+            layer (deadlines, hedged reads, circuit breakers, admission
+            control).  Off by default so the seed figures are reproduced
+            byte-identically; :meth:`with_gray_resilience` enables it.
+        op_deadline: per-operation time budget in simulated seconds the
+            client attaches to every call (None disables deadlines).
+            Propagated server-side; deadline-aware read paths raise
+            ``DeadlineExceededError`` instead of charging past it.
+        hedge_reads: DFS readers fire a hedge to a second replica when
+            the preferred replica's estimated cost exceeds the hedging
+            delay, and take the cheaper completion.
+        hedge_quantile: hedging delay as a multiple of the EWMA read
+            latency (approximates "hedge past the p9x latency").
+        hedge_min_delay: floor for the hedging delay in seconds
+            (kept above a healthy random access so cold monitors never
+            hedge ordinary reads).
+        breaker_enabled: trip per-node circuit breakers on EWMA latency
+            and bias routing away from open (limping) nodes.
+        breaker_trip_seconds: EWMA latency that opens a breaker.
+        breaker_cooldown: seconds an open breaker waits before letting a
+            half-open probe through.
+        breaker_min_samples: observations before a breaker may trip.
+        admission_queue_depth: bounded in-flight queue per tablet server,
+            in EWMA service times; requests past it are shed with
+            ``ServerOverloadedError`` + retry-after (None disables).
         index_kind: ``"blink"`` (in-memory) or ``"lsm"`` (spill to DFS).
         max_versions: versions kept per key by compaction (None = all).
         disk: device cost model for every machine.
@@ -97,6 +124,17 @@ class LogBaseConfig:
     dfs_degraded_allocation: bool = False
     client_retry_limit: int = 0
     client_retry_backoff: float = 0.05
+    client_retry_backoff_max: float = 30.0
+    gray_resilience: bool = False
+    op_deadline: float | None = None
+    hedge_reads: bool = False
+    hedge_quantile: float = 3.0
+    hedge_min_delay: float = 0.05
+    breaker_enabled: bool = False
+    breaker_trip_seconds: float = 0.1
+    breaker_cooldown: float = 2.0
+    breaker_min_samples: int = 3
+    admission_queue_depth: int | None = None
     index_kind: str = "blink"
     max_versions: int | None = None
     disk: DiskModel = field(default_factory=DiskModel)
@@ -156,6 +194,49 @@ class LogBaseConfig:
         settings.update(overrides)
         return cls(**settings)
 
+    @classmethod
+    def with_gray_resilience(cls, **overrides) -> "LogBaseConfig":
+        """A config with the gray-failure resilience layer enabled on top
+        of the fault-tolerance layer: per-operation deadlines, hedged DFS
+        replica reads, latency circuit breakers, and tablet-server
+        admission control.
+
+        The plain constructor keeps all of it off so the seed cost model
+        and figures are reproduced byte-identically; this preset is what
+        the gray chaos schedules (``repro.chaos.gray``) run under.
+        """
+        settings: dict = {
+            "dfs_checksum_replicas": True,
+            "dfs_verify_reads": True,
+            "dfs_auto_rereplicate": True,
+            "dfs_degraded_allocation": True,
+            "client_retry_limit": 4,
+            "gray_resilience": True,
+            "op_deadline": 1.0,
+            "hedge_reads": True,
+            "breaker_enabled": True,
+            "admission_queue_depth": 64,
+        }
+        settings.update(overrides)
+        return cls(**settings)
+
+    def gray_policy(self):
+        """The :class:`~repro.sim.health.GrayPolicy` for this config, or
+        None when the ``gray_resilience`` gate is off."""
+        if not self.gray_resilience:
+            return None
+        from repro.sim.health import GrayPolicy
+
+        return GrayPolicy(
+            hedge_reads=self.hedge_reads,
+            hedge_quantile=self.hedge_quantile,
+            hedge_min_delay=self.hedge_min_delay,
+            breaker_enabled=self.breaker_enabled,
+            breaker_trip_seconds=self.breaker_trip_seconds,
+            breaker_cooldown=self.breaker_cooldown,
+            breaker_min_samples=self.breaker_min_samples,
+        )
+
     def validate(self) -> None:
         """Raise ValueError on inconsistent settings."""
         if self.replication < 1:
@@ -183,3 +264,21 @@ class LogBaseConfig:
             raise ValueError("client_retry_limit must be >= 0")
         if self.client_retry_backoff < 0:
             raise ValueError("client_retry_backoff must be >= 0")
+        if self.client_retry_backoff_max < self.client_retry_backoff:
+            raise ValueError(
+                "client_retry_backoff_max must be >= client_retry_backoff"
+            )
+        if self.op_deadline is not None and self.op_deadline <= 0:
+            raise ValueError("op_deadline must be > 0 or None")
+        if self.hedge_quantile <= 0:
+            raise ValueError("hedge_quantile must be > 0")
+        if self.hedge_min_delay < 0:
+            raise ValueError("hedge_min_delay must be >= 0")
+        if self.breaker_trip_seconds <= 0:
+            raise ValueError("breaker_trip_seconds must be > 0")
+        if self.breaker_cooldown < 0:
+            raise ValueError("breaker_cooldown must be >= 0")
+        if self.breaker_min_samples < 1:
+            raise ValueError("breaker_min_samples must be >= 1")
+        if self.admission_queue_depth is not None and self.admission_queue_depth < 1:
+            raise ValueError("admission_queue_depth must be >= 1 or None")

@@ -13,9 +13,16 @@ from __future__ import annotations
 from repro.core.master import Master
 from repro.core.schema import decode_group_value, encode_group_value
 from repro.core.tablet import Tablet
-from repro.errors import ServerDownError, TabletNotFound
+from repro.errors import ServerDownError, ServerOverloadedError, TabletNotFound
+from repro.sim.deadline import Deadline, deadline_scope
+from repro.sim.health import CircuitBreaker, GrayPolicy
 from repro.sim.machine import Machine
-from repro.sim.metrics import CLIENT_RETRIES
+from repro.sim.metrics import (
+    BREAKER_TRIPS,
+    CLIENT_BREAKER_WAITS,
+    CLIENT_RETRIES,
+    DEADLINES_EXCEEDED,
+)
 
 _REQUEST_OVERHEAD = 64  # approximate request framing bytes
 
@@ -26,11 +33,20 @@ class Client:
     Args:
         master: the active master (location lookups).
         machine: the machine this client charges RPC costs to.
-        retry_limit: times an operation that hit a dead server is retried
-            after refreshing locations, with sim-clock-charged backoff.
-            0 (the seed behaviour) raises immediately.
+        retry_limit: times an operation that hit a dead or overloaded
+            server is retried after refreshing locations, with
+            sim-clock-charged backoff.  0 (the seed behaviour) raises
+            immediately.
         retry_backoff: simulated seconds before the first retry; doubles
             on each further attempt.
+        retry_backoff_max: cap on any single backoff wait (the doubling
+            stops growing here).
+        op_deadline: per-operation time budget in simulated seconds,
+            propagated to the server and DFS read paths; None (the
+            default) disables deadlines entirely.
+        gray_policy: gray-resilience policy; when it enables breakers the
+            client keeps a per-server latency circuit breaker and waits
+            out an open breaker's cooldown before probing the server.
     """
 
     def __init__(
@@ -39,11 +55,21 @@ class Client:
         machine: Machine,
         retry_limit: int = 0,
         retry_backoff: float = 0.05,
+        retry_backoff_max: float = 30.0,
+        op_deadline: float | None = None,
+        gray_policy: GrayPolicy | None = None,
     ) -> None:
         self._master = master
         self._machine = machine
         self._retry_limit = retry_limit
         self._retry_backoff = retry_backoff
+        self._retry_backoff_max = retry_backoff_max
+        self._op_deadline = op_deadline
+        self._gray = gray_policy
+        # server name -> breaker, when the gray policy enables them.
+        self._breakers: dict[str, CircuitBreaker] | None = (
+            {} if gray_policy is not None and gray_policy.breaker_enabled else None
+        )
         # table -> list of (server name, tablet), cached after first lookup
         self._locations: dict[str, list[tuple[str, Tablet]]] = {}
         self.last_op_seconds = 0.0
@@ -80,21 +106,96 @@ class Client:
             name, _ = self._locate(table, key)
             return self._master.server(name)
 
-    def _call(self, server, request_bytes: int, response_bytes: int, op) :
+    def _breaker_for(self, name: str) -> CircuitBreaker | None:
+        if self._breakers is None:
+            return None
+        breaker = self._breakers.get(name)
+        if breaker is None:
+            policy = self._gray
+            breaker = CircuitBreaker(
+                trip_after=policy.breaker_trip_seconds,
+                cooldown=policy.breaker_cooldown,
+                min_samples=policy.breaker_min_samples,
+                alpha=policy.ewma_alpha,
+            )
+            self._breakers[name] = breaker
+        return breaker
+
+    def _call(
+        self,
+        server,
+        request_bytes: int,
+        response_bytes: int,
+        op,
+        *,
+        table: str | None = None,
+        deadline: Deadline | None = None,
+    ):
         """Run ``op`` against ``server``, charging RPC and measuring the
-        server-side latency of this operation."""
+        server-side latency of this operation.
+
+        With a client-side breaker open for ``server``, the client waits
+        out the remaining cooldown on its own clock before the half-open
+        probe — biasing itself away from a server it has measured to be
+        limping.  A live deadline is rebased onto the server's clock for
+        the duration of the call (and armed as the ambient deadline so
+        log and DFS reads can enforce it), then rebased back.  The
+        server's admission controller — when configured — may shed the
+        request before any work is done.  ``last_op_seconds`` is recorded
+        whether the call succeeds or fails, so health tracking sees
+        failure latency too.
+        """
+        breaker = self._breaker_for(server.name)
+        if breaker is not None and not breaker.allow(self._machine.clock.now):
+            wait = breaker.remaining_cooldown(self._machine.clock.now)
+            if wait > 0:
+                self._machine.counters.add(CLIENT_BREAKER_WAITS)
+                self._machine.clock.advance(wait)
+            breaker.allow(self._machine.clock.now)  # admit the probe
         start = server.machine.clock.now
         rpc = self._machine.network.rpc_cost(
-            request_bytes, response_bytes, local=server.machine is self._machine
+            request_bytes,
+            response_bytes,
+            local=server.machine is self._machine,
+            a=self._machine.name,
+            b=server.machine.name,
         )
         self._machine.clock.advance(rpc)
+        if deadline is not None:
+            deadline.check("client call")
+            deadline.rebase(server.machine.clock)
+        admission = getattr(server, "admission", None)
         try:
-            result = op()
+            if admission is not None:
+                admission.admit(
+                    self._machine.clock.now,
+                    server.machine.clock.now,
+                    counters=server.machine.counters,
+                )
+            with deadline_scope(deadline):
+                result = op()
+            if admission is not None:
+                admission.observe(server.machine.clock.now - start)
+            return result
         except ServerDownError:
-            self.invalidate_cache()
+            self.invalidate_cache(table)
             raise
-        self.last_op_seconds = (server.machine.clock.now - start) + rpc
-        return result
+        finally:
+            if deadline is not None:
+                deadline.rebase(self._machine.clock)
+            self.last_op_seconds = (server.machine.clock.now - start) + rpc
+            if breaker is not None and breaker.observe(
+                self.last_op_seconds, self._machine.clock.now
+            ):
+                self._machine.counters.add(BREAKER_TRIPS)
+
+    def _backoff(self, attempts: int) -> float:
+        """Exponential backoff for the Nth retry, capped at the
+        configured maximum so repeated failures never produce an
+        unbounded wait."""
+        return min(
+            self._retry_backoff * (2 ** (attempts - 1)), self._retry_backoff_max
+        )
 
     def _routed_call(
         self, table: str, key: bytes, request_bytes: int, response_bytes: int, op_factory
@@ -108,33 +209,55 @@ class Client:
         need to be looked up ... when the cache is stale" (§3.3).
 
         A dead server (ServerDownError) is additionally retried up to
-        ``retry_limit`` times with exponential backoff charged to the
-        client's clock, covering the window in which the master fails the
-        server's tablets over to healthy adopters.  With the default
-        limit of 0 the seed behaviour is unchanged: the cache is dropped
-        and the error propagates.
+        ``retry_limit`` times with capped exponential backoff charged to
+        the client's clock, covering the window in which the master fails
+        the server's tablets over to healthy adopters.  An overloaded
+        server (ServerOverloadedError) is retried within the same limit,
+        waiting at least the server's ``retry_after`` hint — the shed was
+        a queueing signal, not a failure, so the location cache is kept.
+        With the default limit of 0 the seed behaviour is unchanged: the
+        error propagates immediately.
+
+        With ``op_deadline`` configured the whole routed operation —
+        retries and backoff included — runs under one deadline budget.
         """
         attempts = 0
+        deadline = (
+            Deadline.after(self._machine.clock, self._op_deadline)
+            if self._op_deadline is not None
+            else None
+        )
         while True:
+            if deadline is not None and deadline.expired:
+                self._machine.counters.add(DEADLINES_EXCEEDED)
+                deadline.check("client operation")
             try:
                 server = self._server_for(table, key)
                 try:
                     return self._call(
-                        server, request_bytes, response_bytes, op_factory(server)
+                        server, request_bytes, response_bytes,
+                        op_factory(server), table=table, deadline=deadline,
                     )
                 except TabletNotFound:
                     self.invalidate_cache(table)
                     server = self._server_for(table, key)
                     return self._call(
-                        server, request_bytes, response_bytes, op_factory(server)
+                        server, request_bytes, response_bytes,
+                        op_factory(server), table=table, deadline=deadline,
                     )
             except ServerDownError:
                 if attempts >= self._retry_limit:
                     raise
                 attempts += 1
                 self._machine.counters.add(CLIENT_RETRIES)
+                self._machine.clock.advance(self._backoff(attempts))
+            except ServerOverloadedError as exc:
+                if attempts >= self._retry_limit:
+                    raise
+                attempts += 1
+                self._machine.counters.add(CLIENT_RETRIES)
                 self._machine.clock.advance(
-                    self._retry_backoff * (2 ** (attempts - 1))
+                    max(exc.retry_after, self._backoff(attempts))
                 )
 
     # -- typed API -----------------------------------------------------------------------
@@ -205,23 +328,46 @@ class Client:
         deployment; here each server charges its own clock, so the
         makespan accounting captures the parallelism.
         """
+        return [
+            (key, decode_group_value(value))
+            for key, value in self._scan_rows(
+                table, group, start_key, end_key, as_of
+            )
+        ]
+
+    def _scan_rows(
+        self,
+        table: str,
+        group: str,
+        start_key: bytes,
+        end_key: bytes,
+        as_of: int | None,
+    ) -> list[tuple[bytes, bytes]]:
+        """Fetch raw (key, payload) rows for a range scan, sorted by key."""
         if table not in self._locations:
             self._locate(table, start_key)
-        results: list[tuple[bytes, dict[str, bytes]]] = []
+        results: list[tuple[bytes, bytes]] = []
         for server_name, tablet in self._locations[table]:
             if tablet.key_range.end is not None and tablet.key_range.end <= start_key:
                 continue
             if end_key <= tablet.key_range.start:
                 continue
             server = self._master.server(server_name)
+            deadline = (
+                Deadline.after(self._machine.clock, self._op_deadline)
+                if self._op_deadline is not None
+                else None
+            )
             rows = self._call(
                 server, _REQUEST_OVERHEAD, 4096,
                 lambda s=server: list(
                     s.range_scan(table, group, start_key, end_key, as_of=as_of)
                 ),
+                table=table,
+                deadline=deadline,
             )
             for key, _, value in rows:
-                results.append((key, decode_group_value(value)))
+                results.append((key, value))
         results.sort(key=lambda pair: pair[0])
         return results
 
@@ -243,3 +389,15 @@ class Client:
             lambda server: lambda: server.read(table, key, group, as_of=as_of),
         )
         return None if result is None else result[1]
+
+    def scan_raw(
+        self,
+        table: str,
+        group: str,
+        start_key: bytes,
+        end_key: bytes,
+        *,
+        as_of: int | None = None,
+    ) -> list[tuple[bytes, bytes]]:
+        """Range scan returning opaque group payloads (no column decoding)."""
+        return self._scan_rows(table, group, start_key, end_key, as_of)

@@ -75,6 +75,9 @@ class LogBase:
             machine if machine is not None else self.cluster.machines[0],
             retry_limit=config.client_retry_limit,
             retry_backoff=config.client_retry_backoff,
+            retry_backoff_max=config.client_retry_backoff_max,
+            op_deadline=config.op_deadline if config.gray_resilience else None,
+            gray_policy=config.gray_policy(),
         )
 
     def begin(self) -> Transaction:

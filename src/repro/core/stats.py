@@ -143,6 +143,11 @@ def format_stats(stats: ClusterStats) -> str:
         "blockcache.misses",
         "log.read_many.records",
         "log.read_many.spans",
+        "dfs.hedge.fired",
+        "dfs.hedge.wins",
+        "breaker.trips",
+        "admission.shed",
+        "deadline.exceeded",
     )
     totals = "  ".join(
         f"{name}={stats.counters.get(name, 0):,.0f}" for name in interesting

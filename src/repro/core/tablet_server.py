@@ -22,6 +22,8 @@ from repro.index.blink import BLinkTreeIndex
 from repro.index.interface import MultiversionIndex
 from repro.index.lsm import LSMTreeIndex
 from repro.query.secondary import SecondaryIndexManager
+from repro.sim.deadline import check_deadline
+from repro.sim.health import AdmissionController
 from repro.sim.machine import Machine
 from repro.wal.compaction import CompactionJob, CompactionResult
 from repro.wal.record import LogPointer, LogRecord, RecordType
@@ -65,6 +67,15 @@ class TabletServer:
         self._update_counters: dict[IndexKey, int] = {}
         self._index_generation = 0  # bumps when compaction replaces indexes
         self.secondary = SecondaryIndexManager()
+        # Bounded in-flight queue model (gray-resilience admission
+        # control); None — the default — admits everything, the seed
+        # behaviour.
+        self.admission: AdmissionController | None = (
+            AdmissionController(self.config.admission_queue_depth)
+            if self.config.gray_resilience
+            and self.config.admission_queue_depth is not None
+            else None
+        )
         self.serving = True
         self._checkpoint_hook = None  # wired by CheckpointManager
 
@@ -313,6 +324,7 @@ class TabletServer:
         the record does not exist (or is deleted).
         """
         self._require_serving()
+        check_deadline("tablet read")
         tablet = self._route(table, key)  # reject keys this server no longer owns
         if self.read_cache is not None:
             cached = self.read_cache.get(table, group, key)
@@ -399,6 +411,7 @@ class TabletServer:
         early (e.g. LIMIT queries) never read past their cursor.
         """
         self._require_serving()
+        check_deadline("tablet range scan")
         batching = self.config.read_coalesce_gap is not None
         window = self.config.read_batch_size
         for tablet in sorted(

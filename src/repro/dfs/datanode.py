@@ -76,6 +76,13 @@ class DataNode:
             self._checksums[block_id] = crc32c(data, self._checksums[block_id])
         return cost
 
+    def read_cost(self, length: int) -> float:
+        """Estimated disk cost of serving a ``length``-byte replica read,
+        without charging anything.  Reflects the disk's current slowdown,
+        so hedging and deadline enforcement can see a limping node before
+        committing to it.  Conservative: assumes a random access."""
+        return self.machine.disk.peek_cost(length)
+
     def read_replica(self, block_id: int, offset: int, length: int) -> tuple[bytes, float]:
         """Read ``length`` bytes of the replica at ``offset``.
 

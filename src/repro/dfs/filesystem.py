@@ -24,18 +24,26 @@ from repro.dfs.namenode import NameNode
 from repro.errors import (
     BlockCorruptionError,
     DataNodeDownError,
+    DeadlineExceededError,
     DFSError,
     FileClosedError,
     FileNotFoundInDFS,
     ReplicaCorruptError,
 )
+from repro.sim.deadline import current_deadline
 from repro.sim.failure import CP_DFS_APPEND, CP_DFS_REREPLICATE, crash_point
+from repro.sim.health import GrayPolicy, HealthMonitor
 from repro.sim.machine import Machine
 from repro.sim.metrics import (
+    DEADLINES_EXCEEDED,
     DFS_CORRUPT_REPLICAS,
+    DFS_HEDGE_FIRED,
+    DFS_HEDGE_LOSSES,
+    DFS_HEDGE_WINS,
     DFS_READ_FAILOVERS,
     DFS_REREPLICATIONS,
     DFS_UNDER_REPLICATED,
+    BREAKER_SKIPS,
 )
 from repro.sim.network import NetworkModel
 
@@ -61,6 +69,9 @@ class DFS:
             datanodes are live (queued for repair) instead of refusing
             writes when fewer than ``replication`` survive.  Off by
             default — the seed's strict behaviour.
+        gray: gray-failure resilience policy (hedged replica reads,
+            per-datanode circuit breakers); ``None`` — the default —
+            disables the layer entirely and keeps the seed read path.
     """
 
     def __init__(
@@ -73,6 +84,7 @@ class DFS:
         block_cache_chunk: int = DEFAULT_CHUNK_SIZE,
         verify_reads: bool = False,
         degraded_allocation: bool = False,
+        gray: GrayPolicy | None = None,
     ) -> None:
         if not machines:
             raise ValueError("a DFS needs at least one machine")
@@ -80,6 +92,10 @@ class DFS:
             raise ValueError("verify_reads requires checksum_replicas")
         self.block_size = block_size
         self.verify_reads = verify_reads
+        self.gray = gray
+        self.health: HealthMonitor | None = (
+            HealthMonitor(gray) if gray is not None else None
+        )
         self.block_cache_bytes = block_cache_bytes
         self.block_cache_chunk = block_cache_chunk
         self._block_caches: dict[str, BlockCache] = {}
@@ -317,8 +333,11 @@ class DFS:
         writer.send(primary.machine, len(data))
         primary.append_replica(block.block_id, data)
         # ...which pipelines once to the remaining replicas; remote disks pay
-        # their own write cost on their own clocks.
-        acked = 0
+        # their own write cost on their own clocks.  A limping link slows
+        # both the replica transfer and that replica's ack leg, so a slow
+        # link inside the pipeline stretches the synchronous append — the
+        # gray failure mode the link-limp chaos schedule exercises.
+        acked = 0.0
         for replica in secondaries:
             # A fault may kill or partition a secondary between the liveness
             # check above and its turn in the pipeline; drop it and go on.
@@ -328,9 +347,13 @@ class DFS:
                 dead.append(replica.name)
                 continue
             primary.machine.counters.add("net.bytes_sent", len(data))
-            replica.machine.clock.advance(self.network.transfer_cost(len(data)))
+            replica.machine.clock.advance(
+                self.network.transfer_cost(
+                    len(data), a=primary.name, b=replica.name
+                )
+            )
             replica.append_replica(block.block_id, data)
-            acked += 1
+            acked += self.network.links.factor(primary.name, replica.name)
         # Synchronous ack travels back up the pipeline before return.
         writer.clock.advance(self.network.latency * acked)
         block.length += len(data)
@@ -477,7 +500,10 @@ class DFSReader:
         if node.machine is not self._reader:
             # Remote read: the reader waits for the remote disk + transfer.
             self._reader.clock.advance(
-                cost + self._dfs.network.transfer_cost(length)
+                cost
+                + self._dfs.network.transfer_cost(
+                    length, a=node.name, b=self._reader.name
+                )
             )
             self._reader.counters.add("net.bytes_received", length)
         else:
@@ -507,7 +533,10 @@ class DFSReader:
                 data, cost, node = self._failover_read(block, chunk_start, take)
                 if node.machine is not self._reader:
                     self._reader.clock.advance(
-                        cost + self._dfs.network.transfer_cost(take)
+                        cost
+                        + self._dfs.network.transfer_cost(
+                            take, a=node.name, b=self._reader.name
+                        )
                     )
                     self._reader.counters.add("net.bytes_received", take)
                 cache.put(block.block_id, chunk_no, data)
@@ -516,32 +545,96 @@ class DFSReader:
             parts.append(data[lo:hi])
         return b"".join(parts)
 
+    def _serve_estimate(self, node: DataNode, length: int) -> float:
+        """Estimated seconds for ``node`` to serve a ``length``-byte read
+        to this reader (disk + transfer for remote replicas), without
+        charging anything.  Reflects disk and link slowdowns, which is
+        how hedging and deadline enforcement see a limping replica
+        *before* committing to it."""
+        est = node.read_cost(length)
+        if node.machine is not self._reader:
+            est += self._dfs.network.transfer_cost(
+                length, a=node.name, b=self._reader.name
+            )
+        return est
+
+    def _observe_health(self, node: DataNode, latency: float) -> None:
+        health = self._dfs.health
+        if health is not None:
+            health.observe(
+                node.name,
+                latency,
+                now=self._reader.clock.now,
+                counters=self._reader.counters,
+            )
+
     def _failover_read(
         self, block: BlockInfo, offset: int, length: int
     ) -> tuple[bytes, float, DataNode]:
         """Read a range, failing over across replicas.
 
-        Candidates are tried in locality order (local, rack, any).  A
-        candidate that turns out dead, holds a short/stale copy, or —
-        when the DFS verifies reads — fails checksum verification is
-        pruned from the block's locations and the next replica is tried;
-        failed attempts charge nothing (liveness comes from heartbeats).
+        Candidates are tried in locality order (local, rack, any), with
+        replicas behind an open circuit breaker demoted to last when the
+        gray-resilience layer is on.  A candidate that turns out dead,
+        holds a short/stale copy, or — when the DFS verifies reads —
+        fails checksum verification is pruned from the block's locations
+        and the next replica is tried; failed attempts charge nothing
+        (liveness comes from heartbeats).
+
+        Under an ambient deadline, a candidate whose estimated cost
+        exceeds the remaining budget is skipped (deadline-aware
+        failover); if *no* candidate fits, the reader charges only the
+        remaining budget and raises :class:`DeadlineExceededError` —
+        never the unbounded cost of waiting out a limping replica.
+
+        With hedging enabled, a candidate whose estimate exceeds the
+        hedging delay races a backup replica and the cheaper simulated
+        completion wins (see :meth:`_hedged_read`).
 
         Returns:
             ``(payload, disk_seconds, serving_node)``.
 
         Raises:
+            DeadlineExceededError: deadline expired, or no replica can
+                serve within the remaining budget.
             DataNodeDownError: if no live, reachable replica remains.
             ReplicaCorruptError / BlockCorruptionError: if every remaining
                 replica is damaged.
         """
+        gray = self._dfs.gray
+        deadline = current_deadline()
         last_exc: Exception | None = None
-        for node in self._replica_candidates(block):
+        starved = False  # some replica was skipped only for deadline reasons
+        candidates = self._replica_candidates(block)
+        for i, node in enumerate(candidates):
+            est = None
+            if deadline is not None:
+                est = self._serve_estimate(node, length)
+                if est > deadline.remaining():
+                    starved = True
+                    continue
             if self._dfs.verify_reads and not node.verify_replica(block.block_id):
                 self._drop_bad_replica(block, node, corrupt=True)
                 last_exc = ReplicaCorruptError(
                     f"replica of block {block.block_id} on {node.name} "
                     f"failed checksum verification"
+                )
+                continue
+            hedge = None
+            if gray is not None and gray.hedge_reads and self._dfs.health is not None:
+                if est is None:
+                    est = self._serve_estimate(node, length)
+                delay = self._dfs.health.hedge_delay()
+                if est > delay:
+                    hedge = self._pick_hedge(candidates[i + 1 :], block)
+            if hedge is not None:
+                result = self._hedged_read(
+                    block, offset, length, node, hedge, est, delay
+                )
+                if result is not None:
+                    return result
+                last_exc = DataNodeDownError(
+                    f"hedged replicas of block {block.block_id} failed"
                 )
                 continue
             try:
@@ -552,12 +645,116 @@ class DFSReader:
                 )
                 last_exc = exc
                 continue
+            latency = cost
+            if node.machine is not self._reader:
+                latency += self._dfs.network.transfer_cost(
+                    length, a=node.name, b=self._reader.name
+                )
+            self._observe_health(node, latency)
             return payload, cost, node
+        if starved and deadline is not None:
+            # Every remaining replica would blow the budget: spend what is
+            # left of it (the time a real client burns before timing out)
+            # and fail bounded instead of charging the limped read.
+            remaining = deadline.remaining()
+            if remaining > 0:
+                self._reader.clock.advance(remaining)
+            self._reader.counters.add(DEADLINES_EXCEEDED)
+            raise DeadlineExceededError(
+                f"no replica of block {block.block_id} can serve "
+                f"{length} bytes within the remaining deadline budget"
+            )
         if last_exc is not None:
             raise last_exc
         raise DataNodeDownError(
             f"all replicas of block {block.block_id} are down"
         )
+
+    def _pick_hedge(
+        self, backups: list[DataNode], block: BlockInfo
+    ) -> DataNode | None:
+        """The first viable hedge target among the remaining candidates:
+        alive, breaker-allowed, and (when verification is on) holding a
+        checksum-clean replica.  Verification charges nothing."""
+        health = self._dfs.health
+        now = self._reader.clock.now
+        for node in backups:
+            if not node.alive:
+                continue
+            if health is not None and not health.allow(node.name, now):
+                continue
+            if self._dfs.verify_reads and not node.verify_replica(block.block_id):
+                continue
+            return node
+        return None
+
+    def _hedged_read(
+        self,
+        block: BlockInfo,
+        offset: int,
+        length: int,
+        primary: DataNode,
+        hedge: DataNode,
+        primary_est: float,
+        delay: float,
+    ) -> tuple[bytes, float, DataNode] | None:
+        """Race ``primary`` against ``hedge`` and take the cheaper
+        simulated completion.
+
+        The hedge request fires ``delay`` seconds after the primary, so
+        its effective completion is ``delay + its estimate``; the winner
+        is whichever finishes first.  The winner's replica read is
+        actually performed (charging its machine's disk as usual); the
+        loser is cancelled, charged only up to the winner's completion —
+        and its machine's disk head is displaced, since the abandoned
+        read really moved it.  The loser's *estimated* latency still
+        feeds the health monitor, so breakers trip on replicas that
+        hedging routes around.
+
+        Returns ``(payload, disk_seconds, winner)`` shaped exactly like a
+        plain failover read, or None when the winner's read failed.
+        """
+        reader = self._reader
+        hedge_est = delay + self._serve_estimate(hedge, length)
+        if primary_est <= hedge_est:
+            winner, loser = primary, hedge
+            winner_completion = primary_est
+            loser_busy = max(0.0, winner_completion - delay)
+        else:
+            winner, loser = hedge, primary
+            winner_completion = hedge_est
+            loser_busy = winner_completion
+        reader.counters.add(DFS_HEDGE_FIRED)
+        try:
+            payload, cost = winner.read_replica(block.block_id, offset, length)
+        except (DataNodeDownError, BlockCorruptionError) as exc:
+            self._drop_bad_replica(
+                block, winner, corrupt=isinstance(exc, BlockCorruptionError)
+            )
+            return None
+        if winner is hedge:
+            reader.counters.add(DFS_HEDGE_WINS)
+            # The reader sat out the hedging delay before the backup
+            # request even fired; the backup's own cost is charged by the
+            # caller exactly like any served read.
+            reader.clock.advance(delay)
+        else:
+            reader.counters.add(DFS_HEDGE_LOSSES)
+        # Cancel the loser: its machine was busy only until the winner
+        # completed.  When the loser shares the reader's machine the busy
+        # time overlaps the reader's own wait on the same clock, so only
+        # the displaced disk head is modelled, not a double charge.
+        if loser.machine is not reader:
+            loser.machine.clock.advance(min(loser.read_cost(length), loser_busy))
+        loser.machine.disk.invalidate_head()
+        self._observe_health(loser, self._serve_estimate(loser, length))
+        winner_latency = cost
+        if winner.machine is not reader:
+            winner_latency += self._dfs.network.transfer_cost(
+                length, a=winner.name, b=reader.name
+            )
+        self._observe_health(winner, winner_latency)
+        return payload, cost, winner
 
     def _drop_bad_replica(
         self, block: BlockInfo, node: DataNode, corrupt: bool
@@ -571,7 +768,13 @@ class DFSReader:
         """Live, reachable replicas in the order reads should try them:
         the reader's local datanode, then same-rack, then the rest (the
         seed's ``_pick_replica`` preference, extended to a full ordering
-        for failover)."""
+        for failover).
+
+        With the gray-resilience layer on, replicas whose circuit
+        breaker is open are demoted behind every allowed replica: a
+        limping-but-alive node stops being anyone's first choice while
+        staying available as the read of last resort.
+        """
         live = [
             self._dfs.datanodes[name]
             for name in block.locations
@@ -586,4 +789,12 @@ class DFSReader:
             and n.machine.rack == self._reader.rack
         ]
         rest = [n for n in live if n not in local and n not in rack]
-        return local + rack + rest
+        ordered = local + rack + rest
+        health = self._dfs.health
+        if health is not None and len(ordered) > 1:
+            now = self._reader.clock.now
+            blocked = [n for n in ordered if not health.allow(n.name, now)]
+            if blocked and len(blocked) < len(ordered):
+                self._reader.counters.add(BREAKER_SKIPS, len(blocked))
+                ordered = [n for n in ordered if n not in blocked] + blocked
+        return ordered

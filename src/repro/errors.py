@@ -55,6 +55,15 @@ class NetworkPartitionError(LogBaseError):
     partition."""
 
 
+class DeadlineExceededError(LogBaseError):
+    """The operation's deadline expired before it could complete.
+
+    Raised by deadline-aware paths (tablet server reads, log repository
+    reads, DFS replica reads) instead of charging unbounded simulated
+    time against a limping component.
+    """
+
+
 # ---------------------------------------------------------------------------
 # Log repository
 # ---------------------------------------------------------------------------
@@ -165,6 +174,20 @@ class TableAlreadyExists(ClusterError):
 
 class ServerDownError(ClusterError):
     """The tablet server addressed by a request has failed."""
+
+
+class ServerOverloadedError(ClusterError):
+    """The tablet server shed this request: its modelled in-flight queue
+    is full (admission control).
+
+    Attributes:
+        retry_after: simulated seconds after which the server expects to
+            have drained enough backlog to admit the request.
+    """
+
+    def __init__(self, message: str, retry_after: float = 0.0):
+        super().__init__(message)
+        self.retry_after = retry_after
 
 
 class RecoveryError(ClusterError):

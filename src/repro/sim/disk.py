@@ -77,6 +77,26 @@ class SimDisk:
             raise ValueError("slowdown factor must be positive")
         self._slowdown = factor
 
+    @property
+    def slowdown(self) -> float:
+        """Current degraded-mode multiplier (1.0 = healthy)."""
+        return self._slowdown
+
+    def peek_cost(self, nbytes: int, *, sequential: bool = False) -> float:
+        """Estimate the cost of an access *without* charging the clock or
+        moving the head.  Deadline enforcement and hedging compare this
+        estimate across replicas before committing to a read; it reflects
+        the current slowdown, so a limping disk is visible up front.
+
+        The default assumes a random access (the conservative case for a
+        reader that does not know the head position of a remote disk).
+        """
+        if sequential:
+            cost = self.model.sequential_cost(nbytes)
+        else:
+            cost = self.model.random_access_cost(nbytes)
+        return cost * self._slowdown
+
     def _charge(self, file_id: int, offset: int, nbytes: int, write: bool) -> float:
         sequential = self._head == (file_id, offset)
         if sequential:

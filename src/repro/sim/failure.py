@@ -49,6 +49,8 @@ class FailureInjector:
         self._nodes: dict[str, Failable] = {}
         self.killed: list[str] = []
         self.kill_history: list[str] = []
+        # name -> current slowdown factor for nodes degraded (not 1.0).
+        self.degraded: dict[str, float] = {}
 
     def register(self, name: str, node: Failable) -> None:
         """Track ``node`` under ``name`` for later failure injection."""
@@ -109,6 +111,10 @@ class FailureInjector:
         if disk is None:
             raise TypeError(f"node {name!r} has no disk to degrade")
         disk.set_slowdown(factor)
+        if factor == 1.0:
+            self.degraded.pop(name, None)
+        else:
+            self.degraded[name] = factor
 
     def is_alive(self, name: str) -> bool:
         """Whether the named node is currently up."""
@@ -238,5 +244,33 @@ def kill_action(
         injector.kill(name)
         if raise_exc is not None:
             raise raise_exc
+
+    return action
+
+
+def limp_action(
+    injector: FailureInjector, name: str, factor: float
+) -> Callable[[dict[str, Any]], None]:
+    """Action factory: put ``name``'s disk in degraded mode (gray failure).
+
+    Unlike :func:`kill_action` nothing raises — a limping node keeps
+    serving, just ``factor`` times slower, which is exactly why fail-stop
+    detection cannot see it.  ``factor=1.0`` heals the node.
+    """
+
+    def action(_ctx: dict[str, Any]) -> None:
+        injector.degrade(name, factor)
+
+    return action
+
+
+def link_limp_action(
+    links: Any, a: str, b: str, factor: float
+) -> Callable[[dict[str, Any]], None]:
+    """Action factory: degrade the ``a``↔``b`` network link by ``factor``
+    (see :class:`~repro.sim.network.LinkHealth`).  ``factor=1.0`` heals."""
+
+    def action(_ctx: dict[str, Any]) -> None:
+        links.slow(a, b, factor)
 
     return action

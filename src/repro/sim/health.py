@@ -1,0 +1,310 @@
+"""Health tracking for gray failures: EWMA latency, circuit breakers,
+and admission control.
+
+Gray failures — a disk that limps instead of dying, a link that crawls —
+never trip liveness checks, so the fail-stop machinery (heartbeats,
+failover) cannot see them.  What *can* see them is latency: every
+component here maintains an exponentially weighted moving average of
+observed service times and acts when it drifts past a threshold.
+
+* :class:`CircuitBreaker` — classic closed → open → half-open automaton.
+  Closed passes traffic and observes; when the EWMA exceeds the trip
+  threshold (after a minimum sample count) it opens, and callers route
+  around the node.  After a cooldown one probe is let through
+  (half-open): a fast probe closes the breaker, a slow one re-opens it.
+* :class:`HealthMonitor` — per-node breakers plus a global read-latency
+  EWMA that sets the hedging delay (hedge when the preferred replica's
+  estimated cost exceeds a multiple of the typical read).
+* :class:`AdmissionController` — models a bounded in-flight queue on a
+  tablet server.  In this simulation "queueing" is visible as the gap
+  between the server's clock and the arriving client's clock: a server
+  whose clock has raced ahead (slow disk, hedge losses) would make the
+  caller wait that long.  When the backlog, measured in EWMA service
+  times, exceeds the configured queue depth, the request is shed with a
+  ``retry_after`` hint instead of being absorbed.
+
+Everything here is pure bookkeeping over floats — no clocks are charged;
+callers decide what to do with the verdicts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ServerOverloadedError
+from repro.sim.metrics import ADMISSION_SHED, BREAKER_TRIPS, Counters
+
+
+@dataclass(frozen=True)
+class GrayPolicy:
+    """Tuning knobs for the gray-failure resilience layer.
+
+    Built by :meth:`repro.config.LogBaseConfig.gray_policy` when the
+    ``gray_resilience`` gate is on; a ``None`` policy everywhere means
+    the layer is disabled and no call site changes behaviour.
+
+    Attributes:
+        hedge_reads: fire a hedge to a second replica when the preferred
+            replica's estimated read cost exceeds the hedge delay.
+        hedge_quantile: hedge delay as a multiple of the EWMA read
+            latency (approximating "hedge past the p9x quantile").
+        hedge_min_delay: floor for the hedge delay in simulated seconds
+            (also the delay used before any latency has been observed).
+            The default sits above a healthy random disk access, so a
+            cold monitor hedges only against gross outliers — an
+            ordinary uncached read must never fire a wasted hedge.
+        breaker_enabled: trip circuit breakers on slow nodes.
+        breaker_trip_seconds: EWMA latency threshold that opens a breaker.
+        breaker_cooldown: simulated seconds an open breaker waits before
+            letting a half-open probe through.
+        breaker_min_samples: observations required before a breaker may
+            trip (one slow cold read should not open it).
+        ewma_alpha: smoothing factor for every latency EWMA.
+    """
+
+    hedge_reads: bool = True
+    hedge_quantile: float = 3.0
+    hedge_min_delay: float = 0.05
+    breaker_enabled: bool = True
+    breaker_trip_seconds: float = 0.1
+    breaker_cooldown: float = 2.0
+    breaker_min_samples: int = 3
+    ewma_alpha: float = 0.3
+
+
+class LatencyEwma:
+    """Exponentially weighted moving average of observed latencies."""
+
+    __slots__ = ("alpha", "value", "samples")
+
+    def __init__(self, alpha: float = 0.3) -> None:
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError("alpha must be in (0, 1]")
+        self.alpha = alpha
+        self.value: float | None = None
+        self.samples = 0
+
+    def observe(self, latency: float) -> float:
+        """Fold one observation in; returns the updated average."""
+        if self.value is None:
+            self.value = latency
+        else:
+            self.value = self.alpha * latency + (1.0 - self.alpha) * self.value
+        self.samples += 1
+        return self.value
+
+    def reset(self, value: float | None = None) -> None:
+        """Forget history (e.g. after a node heals)."""
+        self.value = value
+        self.samples = 0 if value is None else 1
+
+
+class CircuitBreaker:
+    """Closed / open / half-open breaker over one node's latency EWMA."""
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half-open"
+
+    def __init__(
+        self,
+        trip_after: float,
+        cooldown: float,
+        min_samples: int = 3,
+        alpha: float = 0.3,
+    ) -> None:
+        self.trip_after = trip_after
+        self.cooldown = cooldown
+        self.min_samples = min_samples
+        self.ewma = LatencyEwma(alpha)
+        self.state = self.CLOSED
+        self.opened_at: float | None = None
+        self.trips = 0
+
+    def _open(self, now: float) -> None:
+        self.state = self.OPEN
+        self.opened_at = now
+        self.trips += 1
+
+    def observe(self, latency: float, now: float) -> bool:
+        """Fold one observed latency in; returns True if this observation
+        tripped the breaker (newly opened)."""
+        self.ewma.observe(latency)
+        if self.state == self.HALF_OPEN:
+            if latency <= self.trip_after:
+                # The probe came back fast: the node healed.  Forget the
+                # limp-era history so the next trip needs fresh evidence.
+                self.state = self.CLOSED
+                self.ewma.reset(latency)
+                return False
+            self._open(now)
+            return True
+        if (
+            self.state == self.CLOSED
+            and self.ewma.samples >= self.min_samples
+            and self.ewma.value is not None
+            and self.ewma.value > self.trip_after
+        ):
+            self._open(now)
+            return True
+        return False
+
+    def allow(self, now: float) -> bool:
+        """Whether a request may be sent to this node right now.
+
+        An open breaker whose cooldown has elapsed transitions to
+        half-open and allows the probe through.
+        """
+        if self.state == self.CLOSED or self.state == self.HALF_OPEN:
+            return True
+        if self.opened_at is not None and now - self.opened_at >= self.cooldown:
+            self.state = self.HALF_OPEN
+            return True
+        return False
+
+    def remaining_cooldown(self, now: float) -> float:
+        """Seconds until an open breaker will admit a probe (0 otherwise)."""
+        if self.state != self.OPEN or self.opened_at is None:
+            return 0.0
+        return max(0.0, self.cooldown - (now - self.opened_at))
+
+
+class HealthMonitor:
+    """Per-node latency health shared by a DFS (or a client).
+
+    Keeps one :class:`CircuitBreaker` per observed node plus a global
+    read-latency EWMA that anchors the hedging delay.
+    """
+
+    def __init__(self, policy: GrayPolicy) -> None:
+        self.policy = policy
+        self.read_latency = LatencyEwma(policy.ewma_alpha)
+        self._node_latency: dict[str, LatencyEwma] = {}
+        self._breakers: dict[str, CircuitBreaker] = {}
+
+    def breaker(self, name: str) -> CircuitBreaker:
+        """The (lazily created) breaker guarding ``name``."""
+        breaker = self._breakers.get(name)
+        if breaker is None:
+            breaker = CircuitBreaker(
+                trip_after=self.policy.breaker_trip_seconds,
+                cooldown=self.policy.breaker_cooldown,
+                min_samples=self.policy.breaker_min_samples,
+                alpha=self.policy.ewma_alpha,
+            )
+            self._breakers[name] = breaker
+        return breaker
+
+    def observe(
+        self,
+        name: str,
+        latency: float,
+        *,
+        now: float,
+        counters: Counters | None = None,
+    ) -> None:
+        """Record one served request's latency against ``name``."""
+        self.read_latency.observe(latency)
+        ewma = self._node_latency.get(name)
+        if ewma is None:
+            ewma = self._node_latency[name] = LatencyEwma(self.policy.ewma_alpha)
+        ewma.observe(latency)
+        if not self.policy.breaker_enabled:
+            return
+        if self.breaker(name).observe(latency, now) and counters is not None:
+            counters.add(BREAKER_TRIPS)
+
+    def allow(self, name: str, now: float) -> bool:
+        """Whether routing may target ``name`` (breaker not open)."""
+        if not self.policy.breaker_enabled:
+            return True
+        return self.breaker(name).allow(now)
+
+    def state(self, name: str) -> str:
+        """Breaker state for ``name`` (closed if never observed)."""
+        breaker = self._breakers.get(name)
+        return CircuitBreaker.CLOSED if breaker is None else breaker.state
+
+    def hedge_delay(self) -> float:
+        """Current hedging delay: a multiple of the *best* replica's
+        typical latency, floored so a cold monitor still hedges against
+        gross outliers.
+
+        Anchoring on the fastest node rather than the global average
+        matters under a gray failure: a limping replica's own slow
+        observations raise only its own average, so it can never drag
+        the delay above its latency and talk the monitor out of hedging
+        around it.
+        """
+        values = [
+            ewma.value
+            for ewma in self._node_latency.values()
+            if ewma.value is not None
+        ]
+        base = min(values, default=None)
+        if base is None:
+            return self.policy.hedge_min_delay
+        return max(self.policy.hedge_min_delay, self.policy.hedge_quantile * base)
+
+
+class AdmissionController:
+    """Bounded in-flight queue model for one tablet server.
+
+    The backlog is the gap between the server's clock and the arriving
+    request's clock — exactly the time a synchronous caller would spend
+    queued behind in-flight work.  Measured in EWMA service times, that
+    gap is the queue depth; past ``max_queue`` the request is shed.
+    """
+
+    def __init__(
+        self,
+        max_queue: int,
+        alpha: float = 0.3,
+        default_service: float = 0.002,
+    ) -> None:
+        if max_queue < 1:
+            raise ValueError("max_queue must be >= 1")
+        self.max_queue = max_queue
+        self.default_service = default_service
+        self.service = LatencyEwma(alpha)
+        self.shed_count = 0
+
+    def _service_time(self) -> float:
+        value = self.service.value
+        return value if value else self.default_service
+
+    def queue_depth(self, arrival_now: float, server_now: float) -> float:
+        """Backlog in requests implied by the clock gap."""
+        backlog = server_now - arrival_now
+        if backlog <= 0:
+            return 0.0
+        return backlog / self._service_time()
+
+    def admit(
+        self,
+        arrival_now: float,
+        server_now: float,
+        counters: Counters | None = None,
+    ) -> None:
+        """Admit or shed one arriving request.
+
+        Raises:
+            ServerOverloadedError: when the implied queue depth exceeds
+                ``max_queue``.  ``retry_after`` is sized to drain the
+                excess backlog, so one honored hint re-admits the caller.
+        """
+        depth = self.queue_depth(arrival_now, server_now)
+        if depth <= self.max_queue:
+            return
+        self.shed_count += 1
+        if counters is not None:
+            counters.add(ADMISSION_SHED)
+        retry_after = (depth - self.max_queue) * self._service_time()
+        raise ServerOverloadedError(
+            f"queue depth {depth:.1f} exceeds {self.max_queue}",
+            retry_after=retry_after,
+        )
+
+    def observe(self, service_seconds: float) -> None:
+        """Record one completed request's server-side service time."""
+        self.service.observe(service_seconds)

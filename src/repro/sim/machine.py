@@ -65,7 +65,9 @@ class Machine:
             raise NetworkPartitionError(
                 f"{self.name} cannot reach {peer.name}: network partitioned"
             )
-        cost = self.network.transfer_cost(nbytes, local=peer is self)
+        cost = self.network.transfer_cost(
+            nbytes, local=peer is self, a=self.name, b=peer.name
+        )
         self.clock.advance(cost)
         self.counters.add("net.bytes_sent", nbytes)
         self.counters.add("net.messages")

@@ -25,6 +25,16 @@ DFS_CORRUPT_REPLICAS = "dfs.corrupt_replicas"
 CLIENT_RETRIES = "client.retries"
 CHAOS_FAULTS_FIRED = "chaos.faults_fired"
 
+# Canonical counter names for the gray-failure resilience layer (PR 3).
+DFS_HEDGE_FIRED = "dfs.hedge.fired"
+DFS_HEDGE_WINS = "dfs.hedge.wins"
+DFS_HEDGE_LOSSES = "dfs.hedge.losses"
+BREAKER_TRIPS = "breaker.trips"
+BREAKER_SKIPS = "breaker.skips"
+DEADLINES_EXCEEDED = "deadline.exceeded"
+ADMISSION_SHED = "admission.shed"
+CLIENT_BREAKER_WAITS = "client.breaker.waits"
+
 
 class Counters:
     """A bag of named integer/float counters.

@@ -59,6 +59,52 @@ class PartitionState:
         return self._group_of.get(a, -1) == self._group_of.get(b, -1)
 
 
+class LinkHealth:
+    """Mutable per-link slowdown state shared by every machine on one
+    network (gray-failure injection).
+
+    A *limping link* multiplies the cost of every transfer between two
+    named endpoints without cutting connectivity — the gray counterpart
+    of :class:`PartitionState`'s hard cut.  Links are symmetric.  With no
+    slow links — the default — every cost-charging call takes one
+    ``is None`` fast path and charges exactly the healthy model.
+    """
+
+    def __init__(self) -> None:
+        self._factors: dict[frozenset[str], float] | None = None
+
+    @property
+    def active(self) -> bool:
+        """Whether any link is currently degraded."""
+        return self._factors is not None
+
+    def slow(self, a: str, b: str, factor: float) -> None:
+        """Degrade the ``a``↔``b`` link: transfers cost ``factor`` times
+        the healthy model.  ``factor=1.0`` heals the link."""
+        if factor <= 0:
+            raise ValueError("link slowdown factor must be positive")
+        key = frozenset((a, b))
+        if factor == 1.0:
+            if self._factors is not None:
+                self._factors.pop(key, None)
+                if not self._factors:
+                    self._factors = None
+            return
+        if self._factors is None:
+            self._factors = {}
+        self._factors[key] = factor
+
+    def heal(self) -> None:
+        """Restore every link to full health."""
+        self._factors = None
+
+    def factor(self, a: str | None, b: str | None) -> float:
+        """Current slowdown multiplier for the ``a``↔``b`` link."""
+        if self._factors is None or a is None or b is None:
+            return 1.0
+        return self._factors.get(frozenset((a, b)), 1.0)
+
+
 @dataclass(frozen=True)
 class NetworkModel:
     """Cost parameters for the cluster interconnect.
@@ -68,6 +114,7 @@ class NetworkModel:
         bandwidth: link bandwidth in bytes/second.
         local_latency: latency for same-node loopback messages.
         partitions: shared mutable partition state (fault injection).
+        links: shared mutable per-link slowdown state (gray failures).
     """
 
     latency: float = 0.0002
@@ -76,20 +123,47 @@ class NetworkModel:
     partitions: PartitionState = field(
         default_factory=PartitionState, compare=False, repr=False
     )
+    links: LinkHealth = field(
+        default_factory=LinkHealth, compare=False, repr=False
+    )
 
     def reachable(self, a: str, b: str) -> bool:
         """Whether machine ``a`` can currently reach machine ``b``."""
         return self.partitions.reachable(a, b)
 
-    def transfer_cost(self, nbytes: int, *, local: bool = False) -> float:
-        """Seconds to move ``nbytes`` in one message."""
+    def transfer_cost(
+        self,
+        nbytes: int,
+        *,
+        local: bool = False,
+        a: str | None = None,
+        b: str | None = None,
+    ) -> float:
+        """Seconds to move ``nbytes`` in one message.
+
+        When the sending and receiving machine names are given, an active
+        link slowdown between them multiplies the cost; with no slow
+        links (the default) the endpoints are ignored entirely.
+        """
         lat = self.local_latency if local else self.latency
         if local:
             return lat  # loopback copies are effectively memory-speed
-        return lat + nbytes / self.bandwidth
+        cost = lat + nbytes / self.bandwidth
+        factor = self.links.factor(a, b)
+        if factor != 1.0:
+            cost *= factor
+        return cost
 
-    def rpc_cost(self, request_bytes: int, response_bytes: int, *, local: bool = False) -> float:
+    def rpc_cost(
+        self,
+        request_bytes: int,
+        response_bytes: int,
+        *,
+        local: bool = False,
+        a: str | None = None,
+        b: str | None = None,
+    ) -> float:
         """Seconds for a request/response round trip."""
-        return self.transfer_cost(request_bytes, local=local) + self.transfer_cost(
-            response_bytes, local=local
-        )
+        return self.transfer_cost(
+            request_bytes, local=local, a=a, b=b
+        ) + self.transfer_cost(response_bytes, local=local, a=a, b=b)

@@ -20,6 +20,7 @@ from typing import Iterator
 
 from repro.dfs.filesystem import DFS
 from repro.errors import InvalidLogPointer
+from repro.sim.deadline import check_deadline
 from repro.sim.failure import CP_LOG_APPEND, crash_point
 from repro.sim.machine import Machine
 from repro.sim.metrics import READ_MANY_CALLS, READ_MANY_RECORDS, READ_MANY_SPANS
@@ -220,6 +221,7 @@ class LogRepository:
 
     def read(self, pointer: LogPointer) -> LogRecord:
         """Random read of one record (a single disk seek, §3.5)."""
+        check_deadline("log read")
         record = self._reader(pointer.file_no).read_at(pointer)
         return self._fill_slim(pointer.file_no, record)
 
@@ -239,6 +241,7 @@ class LogRepository:
         """
         if not pointers:
             return []
+        check_deadline("log batch read")
         if self._coalesce_gap is None:
             return [self.read(pointer) for pointer in pointers]
         counters = self._machine.counters
@@ -308,6 +311,7 @@ class LogRepository:
     def scan_segment(self, file_no: int) -> Iterator[tuple[LogPointer, LogRecord]]:
         """Sequential scan of one segment."""
         for pointer, record in self._reader(file_no).scan():
+            check_deadline("log segment scan")
             yield pointer, self._fill_slim(file_no, record)
 
     def scan_all(

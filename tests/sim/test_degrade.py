@@ -1,0 +1,131 @@
+"""Gray-failure fault injection: degraded disks and the injector's
+kill/degrade/revive interplay."""
+
+import pytest
+
+from repro.sim.clock import SimClock
+from repro.sim.disk import DiskModel, SimDisk
+from repro.sim.failure import FailureInjector, limp_action
+from repro.sim.machine import Machine
+
+MODEL = DiskModel(seek_time=0.008, rotational_latency=0.004, bandwidth=100e6)
+
+
+@pytest.fixture
+def disk():
+    return SimDisk(SimClock(), MODEL)
+
+
+def test_slowdown_multiplies_random_access(disk):
+    healthy = MODEL.random_access_cost(1000)
+    disk.set_slowdown(40.0)
+    assert disk.read(1, 0, 1000) == pytest.approx(40.0 * healthy)
+
+
+def test_slowdown_multiplies_sequential_access(disk):
+    disk.read(1, 0, 1000)
+    disk.set_slowdown(7.0)
+    cost = disk.read(1, 1000, 1000)  # contiguous: no seek, still limping
+    assert cost == pytest.approx(7.0 * MODEL.sequential_cost(1000))
+
+
+def test_slowdown_multiplies_buffered_write(disk):
+    disk.set_slowdown(3.0)
+    assert disk.write_buffered(2000) == pytest.approx(
+        3.0 * MODEL.sequential_cost(2000)
+    )
+
+
+def test_peek_cost_reflects_slowdown_without_charging(disk):
+    disk.set_slowdown(40.0)
+    est = disk.peek_cost(1000)
+    assert est == pytest.approx(40.0 * MODEL.random_access_cost(1000))
+    assert disk.clock.now == 0.0  # nothing charged
+    est_seq = disk.peek_cost(1000, sequential=True)
+    assert est_seq == pytest.approx(40.0 * MODEL.sequential_cost(1000))
+
+
+def test_peek_cost_matches_charged_random_read(disk):
+    disk.set_slowdown(5.0)
+    est = disk.peek_cost(512)
+    assert disk.read(9, 4096, 512) == pytest.approx(est)
+
+
+def test_slowdown_restore(disk):
+    disk.set_slowdown(40.0)
+    disk.set_slowdown(1.0)
+    assert disk.read(1, 0, 1000) == pytest.approx(MODEL.random_access_cost(1000))
+
+
+def test_slowdown_rejects_nonpositive(disk):
+    with pytest.raises(ValueError):
+        disk.set_slowdown(0.0)
+    with pytest.raises(ValueError):
+        disk.set_slowdown(-2.0)
+
+
+# -- FailureInjector.degrade ------------------------------------------------
+
+
+@pytest.fixture
+def injector():
+    inj = FailureInjector()
+    inj.register("ts-a", Machine("a"))
+    inj.register("ts-b", Machine("b"))
+    return inj
+
+
+def test_degrade_tracks_and_heals(injector):
+    injector.degrade("ts-a", 40.0)
+    assert injector.degraded == {"ts-a": 40.0}
+    assert injector.node("ts-a").disk.slowdown == 40.0
+    injector.degrade("ts-a", 1.0)
+    assert injector.degraded == {}
+    assert injector.node("ts-a").disk.slowdown == 1.0
+
+
+def test_degrade_unknown_node_raises(injector):
+    with pytest.raises(KeyError):
+        injector.degrade("ts-zzz", 2.0)
+
+
+def test_degrade_diskless_node_raises():
+    class Process:
+        alive = True
+
+        def fail(self):
+            self.alive = False
+
+    inj = FailureInjector()
+    inj.register("proc", Process())
+    with pytest.raises(TypeError):
+        inj.degrade("proc", 2.0)
+
+
+def test_degraded_node_stays_alive(injector):
+    # The defining property of a gray failure: liveness checks see nothing.
+    injector.degrade("ts-a", 40.0)
+    assert injector.is_alive("ts-a")
+    assert injector.killed == []
+
+
+def test_kill_degrade_revive_interplay(injector):
+    # A limping node that power-fails and reboots is *still* limping —
+    # restarting a machine does not fix its disk.
+    injector.degrade("ts-a", 40.0)
+    injector.kill("ts-a")
+    assert not injector.is_alive("ts-a")
+    assert injector.degraded == {"ts-a": 40.0}  # gray state survives death
+    injector.revive("ts-a")
+    assert injector.is_alive("ts-a")
+    assert injector.node("ts-a").disk.slowdown == 40.0
+    injector.degrade("ts-a", 1.0)  # only an explicit heal restores it
+    assert injector.node("ts-a").disk.slowdown == 1.0
+
+
+def test_limp_action_factory(injector):
+    action = limp_action(injector, "ts-b", 12.0)
+    action({})
+    assert injector.degraded == {"ts-b": 12.0}
+    limp_action(injector, "ts-b", 1.0)({})
+    assert injector.degraded == {}

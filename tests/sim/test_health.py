@@ -1,0 +1,196 @@
+"""Latency health primitives: EWMA, circuit breakers, admission control."""
+
+import pytest
+
+from repro.errors import ServerOverloadedError
+from repro.sim.health import (
+    AdmissionController,
+    CircuitBreaker,
+    GrayPolicy,
+    HealthMonitor,
+    LatencyEwma,
+)
+from repro.sim.metrics import ADMISSION_SHED, BREAKER_TRIPS, Counters
+
+
+# -- LatencyEwma ------------------------------------------------------------
+
+
+def test_ewma_first_sample_is_the_value():
+    ewma = LatencyEwma(alpha=0.3)
+    assert ewma.observe(0.01) == pytest.approx(0.01)
+    assert ewma.samples == 1
+
+
+def test_ewma_folds_with_alpha():
+    ewma = LatencyEwma(alpha=0.5)
+    ewma.observe(0.02)
+    assert ewma.observe(0.04) == pytest.approx(0.03)
+
+
+def test_ewma_reset():
+    ewma = LatencyEwma()
+    ewma.observe(1.0)
+    ewma.reset()
+    assert ewma.value is None
+    assert ewma.samples == 0
+
+
+def test_ewma_alpha_bounds():
+    with pytest.raises(ValueError):
+        LatencyEwma(alpha=0.0)
+    with pytest.raises(ValueError):
+        LatencyEwma(alpha=1.5)
+
+
+# -- CircuitBreaker ---------------------------------------------------------
+
+
+def _breaker(**kw):
+    defaults = dict(trip_after=0.1, cooldown=1.0, min_samples=3, alpha=1.0)
+    defaults.update(kw)
+    return CircuitBreaker(**defaults)
+
+
+def test_breaker_needs_min_samples_to_trip():
+    breaker = _breaker()
+    assert not breaker.observe(0.5, now=0.0)
+    assert not breaker.observe(0.5, now=0.0)
+    assert breaker.observe(0.5, now=0.0)  # third sample trips
+    assert breaker.state == CircuitBreaker.OPEN
+    assert breaker.trips == 1
+
+
+def test_fast_traffic_never_trips():
+    breaker = _breaker()
+    for _ in range(10):
+        assert not breaker.observe(0.01, now=0.0)
+    assert breaker.state == CircuitBreaker.CLOSED
+
+
+def test_open_breaker_blocks_until_cooldown():
+    breaker = _breaker(min_samples=1)
+    breaker.observe(0.5, now=0.0)
+    assert not breaker.allow(now=0.5)
+    assert breaker.remaining_cooldown(now=0.5) == pytest.approx(0.5)
+    assert breaker.allow(now=1.0)  # cooldown elapsed: half-open probe
+    assert breaker.state == CircuitBreaker.HALF_OPEN
+
+
+def test_fast_probe_closes_and_forgets_limp_history():
+    breaker = _breaker(min_samples=1)
+    breaker.observe(0.5, now=0.0)
+    breaker.allow(now=1.0)
+    assert not breaker.observe(0.01, now=1.0)
+    assert breaker.state == CircuitBreaker.CLOSED
+    # Limp-era EWMA was reset: the next slow sample alone cannot trip it
+    # through leftover history, but fresh slow evidence still can.
+    assert breaker.ewma.value == pytest.approx(0.01)
+
+
+def test_slow_probe_reopens():
+    breaker = _breaker(min_samples=1)
+    breaker.observe(0.5, now=0.0)
+    breaker.allow(now=1.0)
+    assert breaker.observe(0.5, now=1.0)  # probe still slow: re-trip
+    assert breaker.state == CircuitBreaker.OPEN
+    assert breaker.trips == 2
+    assert not breaker.allow(now=1.5)  # new cooldown from the re-open
+
+
+# -- HealthMonitor ----------------------------------------------------------
+
+
+POLICY = GrayPolicy(
+    hedge_min_delay=0.002,  # below the latencies observed in these tests
+    breaker_trip_seconds=0.1,
+    breaker_cooldown=1.0,
+    breaker_min_samples=1,
+    ewma_alpha=1.0,
+)
+
+
+def test_monitor_trips_and_counts():
+    monitor = HealthMonitor(POLICY)
+    counters = Counters()
+    monitor.observe("node-0", 0.5, now=0.0, counters=counters)
+    assert monitor.state("node-0") == CircuitBreaker.OPEN
+    assert not monitor.allow("node-0", now=0.1)
+    assert monitor.allow("node-1", now=0.1)  # unknown nodes pass
+    assert counters.get(BREAKER_TRIPS) == 1
+
+
+def test_monitor_breaker_disabled_always_allows():
+    policy = GrayPolicy(
+        breaker_enabled=False, breaker_min_samples=1, ewma_alpha=1.0
+    )
+    monitor = HealthMonitor(policy)
+    monitor.observe("node-0", 9.9, now=0.0)
+    assert monitor.allow("node-0", now=0.0)
+    assert monitor.state("node-0") == CircuitBreaker.CLOSED
+
+
+def test_hedge_delay_floors_when_cold():
+    monitor = HealthMonitor(POLICY)
+    assert monitor.hedge_delay() == POLICY.hedge_min_delay
+
+
+def test_hedge_delay_tracks_typical_latency():
+    monitor = HealthMonitor(POLICY)
+    monitor.observe("node-0", 0.01, now=0.0)
+    assert monitor.hedge_delay() == pytest.approx(
+        POLICY.hedge_quantile * 0.01
+    )
+
+
+def test_limping_node_cannot_raise_the_hedge_delay():
+    # Regression: the hedge delay anchors on the *best* replica's EWMA.
+    # If it tracked the global average, a limping node's own slow
+    # observations would raise the delay past its latency and hedging
+    # would turn itself off exactly when it is needed.
+    monitor = HealthMonitor(POLICY)
+    monitor.observe("healthy", 0.01, now=0.0)
+    for _ in range(5):
+        monitor.observe("limping", 0.5, now=0.0)
+    assert monitor.hedge_delay() == pytest.approx(
+        POLICY.hedge_quantile * 0.01
+    )
+
+
+# -- AdmissionController ----------------------------------------------------
+
+
+def test_admission_requires_positive_queue():
+    with pytest.raises(ValueError):
+        AdmissionController(max_queue=0)
+
+
+def test_backlog_within_queue_admits():
+    ctl = AdmissionController(max_queue=8, default_service=0.002)
+    ctl.admit(arrival_now=0.0, server_now=0.016)  # exactly 8 deep
+    assert ctl.shed_count == 0
+
+
+def test_backlog_beyond_queue_sheds_with_retry_after():
+    ctl = AdmissionController(max_queue=8, default_service=0.002)
+    counters = Counters()
+    with pytest.raises(ServerOverloadedError) as exc:
+        ctl.admit(arrival_now=0.0, server_now=0.032, counters=counters)
+    assert ctl.shed_count == 1
+    assert counters.get(ADMISSION_SHED) == 1
+    # retry_after drains exactly the excess: one honored wait re-admits.
+    assert exc.value.retry_after == pytest.approx(0.016)
+    ctl.admit(arrival_now=exc.value.retry_after, server_now=0.032)
+
+
+def test_queue_depth_uses_observed_service_time():
+    ctl = AdmissionController(max_queue=8, alpha=1.0, default_service=0.002)
+    ctl.observe(0.010)  # service is really 10 ms
+    assert ctl.queue_depth(arrival_now=0.0, server_now=0.05) == pytest.approx(5.0)
+    ctl.admit(arrival_now=0.0, server_now=0.05)  # 5 < 8: admitted
+
+
+def test_client_ahead_of_server_is_no_backlog():
+    ctl = AdmissionController(max_queue=8)
+    assert ctl.queue_depth(arrival_now=5.0, server_now=1.0) == 0.0
+    ctl.admit(arrival_now=5.0, server_now=1.0)

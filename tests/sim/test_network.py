@@ -86,3 +86,58 @@ def test_send_across_partition_raises():
     assert a.clock.now == 0.0
     net.partitions.heal()
     assert a.send(b, 100) > 0.0
+
+
+# -- link health (gray failures) ---------------------------------------------
+
+
+def test_links_healthy_by_default():
+    net = NetworkModel()
+    assert not net.links.active
+    assert net.links.factor("a", "b") == 1.0
+
+
+def test_slow_link_is_symmetric():
+    net = NetworkModel(latency=0.001, bandwidth=1e6)
+    net.links.slow("a", "b", 50.0)
+    assert net.links.active
+    assert net.links.factor("a", "b") == 50.0
+    assert net.links.factor("b", "a") == 50.0
+    assert net.links.factor("a", "c") == 1.0
+
+
+def test_slow_link_multiplies_transfer_cost():
+    net = NetworkModel(latency=0.001, bandwidth=1e6)
+    healthy = net.transfer_cost(1000, a="a", b="c")
+    net.links.slow("a", "b", 50.0)
+    assert net.transfer_cost(1000, a="a", b="b") == pytest.approx(50.0 * healthy)
+    # Other endpoint pairs, and endpoint-less transfers, are unaffected.
+    assert net.transfer_cost(1000, a="a", b="c") == pytest.approx(healthy)
+    assert net.transfer_cost(1000) == pytest.approx(healthy)
+
+
+def test_slow_link_does_not_touch_loopback():
+    net = NetworkModel(latency=0.001, bandwidth=1e6, local_latency=1e-5)
+    net.links.slow("a", "a", 50.0)
+    assert net.transfer_cost(1000, local=True, a="a", b="a") == pytest.approx(1e-5)
+
+
+def test_link_heal_by_factor_and_wholesale():
+    net = NetworkModel()
+    net.links.slow("a", "b", 50.0)
+    net.links.slow("a", "b", 1.0)  # factor 1.0 heals the link
+    assert not net.links.active
+    net.links.slow("a", "b", 50.0)
+    net.links.slow("c", "d", 2.0)
+    net.links.heal()
+    assert not net.links.active
+    assert net.links.factor("a", "b") == 1.0
+
+
+def test_slow_link_charged_by_machine_send():
+    net = NetworkModel(latency=0.001, bandwidth=1e6)
+    a = Machine("a", network=net)
+    b = Machine("b", network=net)
+    healthy = a.send(b, 1000)
+    net.links.slow("a", "b", 10.0)
+    assert a.send(b, 1000) == pytest.approx(10.0 * healthy)
