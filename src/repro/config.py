@@ -96,6 +96,19 @@ class LogBaseConfig:
         admission_queue_depth: bounded in-flight queue per tablet server,
             in EWMA service times; requests past it are shed with
             ``ServerOverloadedError`` + retry-after (None disables).
+        incremental_compaction: replace the one-shot full compaction with
+            the size-tiered planner: unsorted tail segments are always
+            eligible, sorted runs only merge when a tier accumulates
+            enough similar-sized runs, and only the touched (table,
+            group) indexes are swapped.  Off by default so the seed
+            figures are reproduced byte-identically;
+            :meth:`with_incremental_compaction` enables it.
+        compaction_tier_fanout: sorted runs of one (table, group) merge
+            only when at least this many similar-sized runs have
+            accumulated in a size tier (the size-tiered trigger).
+        compaction_max_input_bytes: I/O budget per compaction plan —
+            a plan stops adding input segments past this many bytes
+            (None removes the cap).
         index_kind: ``"blink"`` (in-memory) or ``"lsm"`` (spill to DFS).
         max_versions: versions kept per key by compaction (None = all).
         disk: device cost model for every machine.
@@ -135,6 +148,9 @@ class LogBaseConfig:
     breaker_cooldown: float = 2.0
     breaker_min_samples: int = 3
     admission_queue_depth: int | None = None
+    incremental_compaction: bool = False
+    compaction_tier_fanout: int = 4
+    compaction_max_input_bytes: int | None = None
     index_kind: str = "blink"
     max_versions: int | None = None
     disk: DiskModel = field(default_factory=DiskModel)
@@ -220,6 +236,24 @@ class LogBaseConfig:
         settings.update(overrides)
         return cls(**settings)
 
+    @classmethod
+    def with_incremental_compaction(cls, **overrides) -> "LogBaseConfig":
+        """A config with incremental size-tiered compaction enabled: the
+        planner splits each round into per-run plans (unsorted tail plus
+        size-tiered merges of sorted runs), sorted inputs stream through
+        a k-way merge, and only the touched (table, group) indexes are
+        swapped.
+
+        The plain constructor keeps it off so the seed cost model and
+        figures are reproduced byte-identically; this preset is what the
+        churn benchmark (``bench_compaction``) measures.
+        """
+        settings: dict = {
+            "incremental_compaction": True,
+        }
+        settings.update(overrides)
+        return cls(**settings)
+
     def gray_policy(self):
         """The :class:`~repro.sim.health.GrayPolicy` for this config, or
         None when the ``gray_resilience`` gate is off."""
@@ -282,3 +316,10 @@ class LogBaseConfig:
             raise ValueError("breaker_min_samples must be >= 1")
         if self.admission_queue_depth is not None and self.admission_queue_depth < 1:
             raise ValueError("admission_queue_depth must be >= 1 or None")
+        if self.compaction_tier_fanout < 2:
+            raise ValueError("compaction_tier_fanout must be >= 2")
+        if (
+            self.compaction_max_input_bytes is not None
+            and self.compaction_max_input_bytes < 1
+        ):
+            raise ValueError("compaction_max_input_bytes must be >= 1 or None")

@@ -66,6 +66,7 @@ def redo_scan(
     report = RecoveryReport()
     log = repository if repository is not None else server.log
     pending: dict[int, list[tuple[LogPointer, LogRecord]]] = defaultdict(list)
+    tombstones: dict[tuple[str, str, bytes], int] = {}
     max_lsn = min_lsn
     for pointer, record in log.scan_all(start=start):
         report.records_scanned += 1
@@ -74,20 +75,20 @@ def redo_scan(
             continue
         if record.record_type is RecordType.WRITE:
             if record.txn_id == 0:
-                _apply(server, record, pointer, report)
+                _apply(server, record, pointer, report, tombstones)
             else:
                 pending[record.txn_id].append((pointer, record))
         elif record.record_type is RecordType.INVALIDATE:
             if record.txn_id == 0:
-                _apply_delete(server, record, report)
+                _apply_delete(server, record, report, tombstones)
             else:
                 pending[record.txn_id].append((pointer, record))
         elif record.record_type is RecordType.COMMIT:
             for buffered_pointer, buffered in pending.pop(record.txn_id, []):
                 if buffered.record_type is RecordType.WRITE:
-                    _apply(server, buffered, buffered_pointer, report)
+                    _apply(server, buffered, buffered_pointer, report, tombstones)
                 else:
-                    _apply_delete(server, buffered, report)
+                    _apply_delete(server, buffered, report, tombstones)
         elif record.record_type is RecordType.ABORT:
             pending.pop(record.txn_id, None)
     report.uncommitted_ignored = sum(len(v) for v in pending.values())
@@ -96,22 +97,52 @@ def redo_scan(
 
 
 def _apply(
-    server: TabletServer, record: LogRecord, pointer: LogPointer, report: RecoveryReport
+    server: TabletServer,
+    record: LogRecord,
+    pointer: LogPointer,
+    report: RecoveryReport,
+    tombstones: dict[tuple[str, str, bytes], int] | None = None,
 ) -> None:
     try:
         index = server.index_for(record.table, record.key, record.group)
     except TabletNotFound:
         return  # tablet now owned elsewhere
+    if tombstones is not None:
+        # Incremental compaction re-homes versions into sorted runs whose
+        # file order no longer matches timestamp order: a write can appear
+        # *after* the tombstone that shadows it (e.g. the delete marker
+        # still sits in the unsorted tail while a merge re-emitted the old
+        # version into a higher-numbered run).  Timestamps disambiguate —
+        # a version at or below a seen tombstone is dead regardless of
+        # scan order (the TSO makes any legitimate rebirth strictly newer).
+        if tombstones.get((record.table, record.group, record.key), -1) >= record.timestamp:
+            return
     index.insert(record.key, record.timestamp, pointer)
     report.writes_applied += 1
 
 
-def _apply_delete(server: TabletServer, record: LogRecord, report: RecoveryReport) -> None:
+def _apply_delete(
+    server: TabletServer,
+    record: LogRecord,
+    report: RecoveryReport,
+    tombstones: dict[tuple[str, str, bytes], int] | None = None,
+) -> None:
+    if tombstones is not None:
+        slot = (record.table, record.group, record.key)
+        tombstones[slot] = max(tombstones.get(slot, -1), record.timestamp)
     try:
         index = server.index_for(record.table, record.key, record.group)
     except TabletNotFound:
         return
+    # An INVALIDATE kills versions at or below its timestamp, not the key
+    # wholesale: incremental compaction re-emits tombstones into sorted
+    # runs whose file order no longer matches timestamp order, so a redo
+    # may apply a newer surviving version *before* it reaches the
+    # tombstone that only shadows older ones.
+    survivors = [e for e in index.versions(record.key) if e.timestamp > record.timestamp]
     index.delete_key(record.key)
+    for entry in survivors:
+        index.insert(entry.key, entry.timestamp, entry.pointer)
     report.deletes_applied += 1
 
 
@@ -209,6 +240,7 @@ def adopt_split_log(
     split_repo = LogRepository.reattach(dfs, server.machine, split_root)
     report = RecoveryReport()
     pending: dict[int, list[LogRecord]] = defaultdict(list)
+    tombstones: dict[tuple[str, str, bytes], int] = {}
 
     def as_committed(record: LogRecord) -> LogRecord:
         # Only committed records reach replay, and the commit markers
@@ -233,10 +265,10 @@ def adopt_split_log(
     def replay(record: LogRecord) -> None:
         if record.record_type is RecordType.WRITE:
             pointer, stamped = server.log.append(as_committed(record))
-            _apply(server, stamped, pointer, report)
+            _apply(server, stamped, pointer, report, tombstones)
         elif record.record_type is RecordType.INVALIDATE:
             server.log.append(as_committed(record))
-            _apply_delete(server, record, report)
+            _apply_delete(server, record, report, tombstones)
 
     for _, record in split_repo.scan_all():
         report.records_scanned += 1

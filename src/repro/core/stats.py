@@ -143,6 +143,9 @@ def format_stats(stats: ClusterStats) -> str:
         "blockcache.misses",
         "log.read_many.records",
         "log.read_many.spans",
+        "compaction.bytes_read",
+        "compaction.bytes_written",
+        "log.ingest_bytes",
         "dfs.hedge.fired",
         "dfs.hedge.wins",
         "breaker.trips",

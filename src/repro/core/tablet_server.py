@@ -10,6 +10,8 @@ which is the design removing the WAL+Data write bottleneck.
 
 from __future__ import annotations
 
+from bisect import bisect_right
+from collections import defaultdict
 from itertools import islice
 
 from repro.config import LogBaseConfig
@@ -25,7 +27,12 @@ from repro.query.secondary import SecondaryIndexManager
 from repro.sim.deadline import check_deadline
 from repro.sim.health import AdmissionController
 from repro.sim.machine import Machine
-from repro.wal.compaction import CompactionJob, CompactionResult
+from repro.wal.compaction import (
+    CompactionJob,
+    CompactionResult,
+    IncrementalCompactionJob,
+)
+from repro.wal.planner import CompactionPlanner
 from repro.wal.record import LogPointer, LogRecord, RecordType
 from repro.wal.repository import LogRepository
 
@@ -58,6 +65,9 @@ class TabletServer:
             scan_prefetch=self.config.scan_prefetch_bytes,
         )
         self.tablets: dict[str, Tablet] = {}
+        # table -> (sorted range-start keys, tablets in that order); built
+        # lazily by _route, dropped on assign/unassign.
+        self._route_cache: dict[str, tuple[list[bytes], list[Tablet]]] = {}
         self._indexes: dict[IndexKey, MultiversionIndex] = {}
         self.read_cache: ReadCache | None = (
             ReadCache(self.config.cache_budget_bytes)
@@ -123,12 +133,15 @@ class TabletServer:
     def assign_tablet(self, tablet: Tablet) -> None:
         """Take responsibility for ``tablet``: create its group indexes."""
         self.tablets[str(tablet.tablet_id)] = tablet
+        self._route_cache.pop(tablet.table, None)
         for group in tablet.schema.group_names:
             self._ensure_index(tablet.tablet_id, group)
 
     def unassign_tablet(self, tablet_id: TabletId) -> None:
         """Drop a tablet (after reassignment elsewhere)."""
-        self.tablets.pop(str(tablet_id), None)
+        tablet = self.tablets.pop(str(tablet_id), None)
+        if tablet is not None:
+            self._route_cache.pop(tablet.table, None)
         for key in [k for k in self._indexes if k[0] == str(tablet_id)]:
             del self._indexes[key]
             self._update_counters.pop(key, None)
@@ -154,9 +167,21 @@ class TabletServer:
         return BLinkTreeIndex()
 
     def _route(self, table: str, key: bytes) -> Tablet:
-        for tablet in self.tablets.values():
-            if tablet.table == table and tablet.covers(key):
-                return tablet
+        # Every read/write/apply routes, so this is a bisect over the
+        # table's sorted range starts instead of a linear scan over all
+        # tablets (ranges are disjoint; covers() rejects keys in gaps).
+        cached = self._route_cache.get(table)
+        if cached is None:
+            tablets = sorted(
+                (t for t in self.tablets.values() if t.table == table),
+                key=lambda t: t.key_range.start,
+            )
+            cached = ([t.key_range.start for t in tablets], tablets)
+            self._route_cache[table] = cached
+        starts, tablets = cached
+        position = bisect_right(starts, key) - 1
+        if position >= 0 and tablets[position].covers(key):
+            return tablets[position]
         raise TabletNotFound(f"server {self.name} has no tablet for {table}:{key!r}")
 
     def index_for(self, table: str, key: bytes, group: str) -> MultiversionIndex:
@@ -473,20 +498,21 @@ class TabletServer:
     def compact(self, *, retain_after: int | None = None) -> CompactionResult:
         """Run log compaction and swap in the rebuilt indexes.
 
+        With ``config.incremental_compaction`` the round is split into
+        size-tiered per-run plans and only the touched (table, group)
+        indexes are swapped; otherwise the whole log is rewritten and
+        every index rebuilt (the seed behaviour).
+
         Args:
             retain_after: optional retention cutoff — historical versions
                 older than this timestamp are expired (each key's newest
                 version always survives).
         """
         self._require_serving()
+        if self.config.incremental_compaction:
+            return self._compact_incremental(retain_after=retain_after)
         inputs = self.log.segments()
         self.log.roll()
-
-        def owned(table: str, key: bytes) -> bool:
-            return any(
-                tablet.table == table and tablet.covers(key)
-                for tablet in self.tablets.values()
-            )
 
         # Records of tablets this server no longer hosts (moved away by a
         # rebalance or failover) are dropped: their new owner re-homed
@@ -494,7 +520,7 @@ class TabletServer:
         job = CompactionJob(
             self.log,
             self.config.max_versions,
-            owned=owned,
+            owned=self._owned_filter(),
             retain_after=retain_after,
         )
         result = job.run(inputs)
@@ -529,6 +555,104 @@ class TabletServer:
         if self._checkpoint_hook is not None:
             self._checkpoint_hook(self)
         return result
+
+    def _owned_filter(self):
+        """``(table, key) -> bool`` over the tablets this server hosts."""
+
+        def owned(table: str, key: bytes) -> bool:
+            return any(
+                tablet.table == table and tablet.covers(key)
+                for tablet in self.tablets.values()
+            )
+
+        return owned
+
+    def _compact_incremental(self, *, retain_after: int | None) -> CompactionResult:
+        """Size-tiered compaction: execute the planner's per-run plans,
+        patching only the touched (table, group) indexes after each.
+
+        Plans install one at a time (each guarded by its own
+        ``CP_COMPACTION_MID`` crash point), and the checkpoint is
+        refreshed after every install: the previous checkpoint's index
+        files point into segments the plan just retired, so it must be
+        superseded before the next plan may crash mid-round.
+        """
+        inputs = self.log.segments()
+        self.log.roll()
+        planner = CompactionPlanner(
+            self.log,
+            tier_fanout=self.config.compaction_tier_fanout,
+            max_input_bytes=self.config.compaction_max_input_bytes,
+        )
+        plans = planner.plan(inputs)
+        owned = self._owned_filter()
+        combined = CompactionResult()
+        for plan in plans:
+            job = IncrementalCompactionJob(
+                self.log,
+                plan,
+                self.config.max_versions,
+                owned=owned,
+                retain_after=retain_after,
+            )
+            result = job.run()
+            self._patch_indexes(result)
+            if self._checkpoint_hook is not None:
+                self._checkpoint_hook(self)
+            combined.merge(result)
+        return combined
+
+    def _patch_indexes(self, result: CompactionResult) -> None:
+        """Swap fresh indexes in for only the scopes one plan touched.
+
+        A touched scope's new index is the old index's entries minus
+        those pointing into the plan's retired segments, plus the plan's
+        surviving entries.  Untouched scopes keep their index objects —
+        and, for LSM indexes, their generation's run files — alive.
+        """
+        retired = set(result.retired_segments)
+        entries_by_scope: dict[
+            tuple[str, str], list[tuple[bytes, int, LogPointer]]
+        ] = defaultdict(list)
+        for table, group, key, timestamp, pointer in result.index_entries:
+            entries_by_scope[(table, group)].append((key, timestamp, pointer))
+        # One generation bump per plan keeps a round's rebuilt LSM roots
+        # (e.g. a merge plan and the tail plan touching the same scope)
+        # from colliding on run paths.
+        self._index_generation += 1
+        for table, group in sorted(result.touched_scopes):
+            entries = entries_by_scope.get((table, group), [])
+            for tablet in self.tablets.values():
+                if tablet.table != table or group not in tablet.schema.group_names:
+                    continue
+                index_key = (str(tablet.tablet_id), group)
+                old = self._indexes.get(index_key)
+                fresh = self._new_index(tablet.tablet_id, group)
+                # The live index is authoritative for the visible set: a
+                # plan's entries only *remap* versions the index already
+                # holds (their old pointers fall in retired segments).  A
+                # version absent from the live index was deleted after it
+                # was logged — a merge plan re-reading old runs cannot see
+                # the delete marker still sitting in the unsorted tail, so
+                # inserting its entries unconditionally would resurrect
+                # deleted keys.
+                old_versions: set[tuple[bytes, int]] = set()
+                if old is not None:
+                    for entry in old.entries():
+                        old_versions.add((entry.key, entry.timestamp))
+                        if entry.pointer.file_no not in retired:
+                            fresh.insert(entry.key, entry.timestamp, entry.pointer)
+                for key, timestamp, pointer in entries:
+                    if tablet.covers(key) and (
+                        old is None or (key, timestamp) in old_versions
+                    ):
+                        fresh.insert(key, timestamp, pointer)
+                if old is not None:
+                    destroy = getattr(old, "destroy", None)
+                    if destroy is not None:
+                        destroy()
+                self._indexes[index_key] = fresh
+                self._update_counters.setdefault(index_key, 0)
 
     # -- secondary indexes (the paper's future-work extension) ------------------------------------
 

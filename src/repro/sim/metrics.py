@@ -35,6 +35,15 @@ DEADLINES_EXCEEDED = "deadline.exceeded"
 ADMISSION_SHED = "admission.shed"
 CLIENT_BREAKER_WAITS = "client.breaker.waits"
 
+# Canonical counter names for the compaction subsystem (PR 4).  Rewrite
+# amplification is derived by reports as
+# ``compaction.bytes_written / log.ingest_bytes``.
+COMPACTION_BYTES_READ = "compaction.bytes_read"
+COMPACTION_BYTES_WRITTEN = "compaction.bytes_written"
+COMPACTION_PLANS = "compaction.plans"
+COMPACTION_TOMBSTONES_CARRIED = "compaction.tombstones_carried"
+LOG_INGEST_BYTES = "log.ingest_bytes"
+
 
 class Counters:
     """A bag of named integer/float counters.

@@ -11,7 +11,12 @@ Compaction (§3.6.5) rewrites the log into segments sorted by
 from repro.wal.record import LogRecord, LogPointer, RecordType
 from repro.wal.segment import LogSegmentWriter, LogSegmentReader
 from repro.wal.repository import LogRepository
-from repro.wal.compaction import CompactionJob, CompactionResult
+from repro.wal.compaction import (
+    CompactionJob,
+    CompactionResult,
+    IncrementalCompactionJob,
+)
+from repro.wal.planner import CompactionPlan, CompactionPlanner
 from repro.wal.archive import ArchiveReport, ColdStorage, LogArchiver
 
 __all__ = [
@@ -23,6 +28,9 @@ __all__ = [
     "LogRepository",
     "CompactionJob",
     "CompactionResult",
+    "IncrementalCompactionJob",
+    "CompactionPlan",
+    "CompactionPlanner",
     "ArchiveReport",
     "ColdStorage",
     "LogArchiver",

@@ -21,9 +21,14 @@ from typing import Iterator
 from repro.dfs.filesystem import DFS
 from repro.errors import InvalidLogPointer
 from repro.sim.deadline import check_deadline
-from repro.sim.failure import CP_LOG_APPEND, crash_point
+from repro.sim.failure import CP_LOG_APPEND, CP_META_PERSIST, crash_point
 from repro.sim.machine import Machine
-from repro.sim.metrics import READ_MANY_CALLS, READ_MANY_RECORDS, READ_MANY_SPANS
+from repro.sim.metrics import (
+    LOG_INGEST_BYTES,
+    READ_MANY_CALLS,
+    READ_MANY_RECORDS,
+    READ_MANY_SPANS,
+)
 from repro.wal.record import LogPointer, LogRecord
 from repro.wal.segment import LogSegmentReader, LogSegmentWriter, open_segment_reader
 
@@ -120,6 +125,15 @@ class LogRepository:
         """DFS path of segment ``file_no``."""
         return self._paths[file_no]
 
+    def segment_bytes(self, file_no: int) -> int:
+        """On-DFS size of one live segment (a namenode metadata lookup;
+        the compaction planner sizes its tiers with this)."""
+        archived = self._archived.get(file_no)
+        if archived is not None:
+            cold_dfs, cold_path = archived
+            return cold_dfs.file_length(cold_path)
+        return self._dfs.file_length(self._paths[file_no])
+
     def is_sorted_segment(self, file_no: int) -> bool:
         """Whether ``file_no`` is a compaction-produced sorted segment."""
         return file_no in self._slim_meta
@@ -167,13 +181,21 @@ class LogRepository:
         stamped = record.with_lsn(self._next_lsn)
         self._next_lsn += 1
         encoded = stamped.encode()
+        self._machine.counters.add(LOG_INGEST_BYTES, len(encoded))
         writer = self._roll_if_needed(len(encoded))
         pointer = writer.append(encoded)
         self._refresh_reader(writer.file_no)
         return pointer, stamped
 
     def append_batch(self, records: list[LogRecord]) -> list[tuple[LogPointer, LogRecord]]:
-        """Group-commit append: one DFS round trip for the whole batch."""
+        """Group-commit append: one DFS round trip per segment touched.
+
+        A batch that fits the active segment (or any batch no larger than
+        ``segment_size``) lands with a single ``append_many``.  A batch
+        bigger than one segment is split across rolls instead of blowing
+        a single segment arbitrarily past the roll threshold; each
+        resulting segment still receives its records in one DFS write.
+        """
         if not records:
             return []
         crash_point(CP_LOG_APPEND, machine=self._machine.name, root=self._root)
@@ -184,9 +206,27 @@ class LogRepository:
             self._next_lsn += 1
             stamped.append(rec)
             encoded.append(rec.encode())
+        self._machine.counters.add(LOG_INGEST_BYTES, sum(len(e) for e in encoded))
         writer = self._roll_if_needed(sum(len(e) for e in encoded))
-        pointers = writer.append_many(encoded)
-        self._refresh_reader(writer.file_no)
+        pointers: list[LogPointer] = []
+        start = 0
+        while start < len(encoded):
+            # Greedy chunk: everything that fits the segment's remaining
+            # capacity; a single record larger than a whole segment goes
+            # alone.
+            end = start + 1
+            size = len(encoded[start])
+            while (
+                end < len(encoded)
+                and writer.size + size + len(encoded[end]) <= self._segment_size
+            ):
+                size += len(encoded[end])
+                end += 1
+            pointers.extend(writer.append_many(encoded[start:end]))
+            self._refresh_reader(writer.file_no)
+            start = end
+            if start < len(encoded):
+                writer = self._roll_if_needed(len(encoded[start]))
         return list(zip(pointers, stamped))
 
     def _refresh_reader(self, file_no: int) -> None:
@@ -387,17 +427,32 @@ class LogRepository:
     def _meta_path(self) -> str:
         return f"{self._root}/segments.meta"
 
+    def _meta_tmp_path(self) -> str:
+        return f"{self._root}/segments.meta.tmp"
+
     def _persist_meta(self) -> None:
-        """Persist the slim-segment metadata map to the DFS."""
+        """Persist the slim-segment metadata map to the DFS atomically.
+
+        The map is written to a temp path first and swapped in with an
+        atomic rename, so a crash at any point leaves either the old map
+        or the complete new one on the DFS — never a window with neither
+        (``reattach`` prefers a complete temp file, which is always the
+        newer state when one exists).
+        """
         payload = json.dumps(
             {str(no): list(meta) for no, meta in self._slim_meta.items()}
         ).encode()
         path = self._meta_path()
-        if self._dfs.exists(path):
-            self._dfs.delete(path)
-        writer = self._dfs.create(path, self._machine)
+        tmp = self._meta_tmp_path()
+        if self._dfs.exists(tmp):
+            self._dfs.delete(tmp)
+        writer = self._dfs.create(tmp, self._machine)
         writer.append(payload)
         writer.close()
+        crash_point(CP_META_PERSIST, machine=self._machine.name, root=self._root)
+        if self._dfs.exists(path):
+            self._dfs.delete(path)
+        self._dfs.rename(tmp, path)
 
     def persist_meta(self) -> None:
         """Public hook used after compaction installs sorted segments."""
@@ -422,16 +477,25 @@ class LogRepository:
         recovery scan.
         """
         repo = cls(dfs, machine, root, segment_size, coalesce_gap, scan_prefetch)
-        meta_path = repo._meta_path()
-        if dfs.exists(meta_path):
+        # A complete temp file is always the newest state: the swap in
+        # ``_persist_meta`` only deletes the old map after the temp is
+        # fully written.  An unparseable temp is a crash mid-write — fall
+        # back to the old map it never replaced.
+        for meta_path in (repo._meta_tmp_path(), repo._meta_path()):
+            if not dfs.exists(meta_path):
+                continue
             raw = dfs.open(meta_path, machine).read_all()
+            try:
+                parsed = json.loads(raw.decode())
+            except ValueError:
+                continue
             repo._slim_meta = {
-                int(no): (meta[0], meta[1])
-                for no, meta in json.loads(raw.decode()).items()
+                int(no): (meta[0], meta[1]) for no, meta in parsed.items()
             }
+            break
         for path in dfs.list_files(repo._root + "/"):
             name = path.rsplit("/", 1)[-1]
-            if name == "segments.meta":
+            if name.startswith("segments.meta"):
                 continue
             stem = name.rsplit(".", 1)[0]
             file_no = int(stem.split("-")[-1])

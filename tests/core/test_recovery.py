@@ -175,3 +175,36 @@ def test_recovery_time_grows_with_unscanned_log(dfs, machines, schema, tso):
     crash_and_restart(server, schema)
     long = recover_server(server, manager).seconds
     assert long > short
+
+
+def test_redo_skips_writes_shadowed_by_earlier_tombstone(dfs, machines, schema, tso):
+    """Incremental compaction re-homes old versions into runs numbered
+    past the tombstone that shadows them, so a file-order redo can meet
+    the delete marker *before* the write it kills.  Timestamps, not scan
+    order, decide: the shadowed version stays dead, a strictly newer
+    rebirth survives."""
+    server = make_server(dfs, machines[0], schema, tso)
+    manager = CheckpointManager(dfs, server)
+
+    def raw(record_type, key, ts, value=b""):
+        return LogRecord(
+            record_type=record_type,
+            lsn=0,
+            txn_id=0,
+            table="events",
+            tablet="events#0",
+            key=key,
+            group="payload",
+            timestamp=ts,
+            value=value,
+        )
+
+    server.log.append(raw(RecordType.INVALIDATE, b"k", 50))
+    server.log.append(raw(RecordType.WRITE, b"k", 10, b"old"))  # shadowed
+    server.log.append(raw(RecordType.WRITE, b"k", 90, b"reborn"))  # newer: lives
+    crash_and_restart(server, schema)
+    report = recover_server(server, manager)
+    assert report.deletes_applied == 1
+    assert report.writes_applied == 1  # the shadowed write is skipped
+    index = server.indexes()[("events#0", "payload")]
+    assert {entry.timestamp for entry in index.versions(b"k")} == {90}

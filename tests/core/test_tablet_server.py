@@ -5,10 +5,13 @@ import pytest
 from repro.config import LogBaseConfig
 from repro.coordination.tso import TimestampOracle
 from repro.coordination.znodes import CoordinationService
+from repro.core.checkpoint import CheckpointManager
 from repro.core.partition import KeyRange
+from repro.core.recovery import recover_server
 from repro.core.tablet import Tablet, TabletId
 from repro.core.tablet_server import TabletServer
 from repro.errors import ServerDownError, TabletNotFound
+from repro.sim.failure import CP_COMPACTION_MID, FaultPlan, fault_plan
 
 
 @pytest.fixture
@@ -202,6 +205,278 @@ def test_checkpoint_hook_fires_on_threshold(dfs, machines, schema, tso):
     for i in range(5):
         srv.write("events", str(i).encode(), {"payload": b"v"})
     assert calls == ["ts-h"]
+
+
+# -- bisect routing ---------------------------------------------------------
+
+
+@pytest.fixture
+def multi_server(dfs, machines, schema, tso):
+    """A server hosting three ranges of one table, with a gap [p, t)."""
+    srv = TabletServer("ts-m", machines[1], dfs, tso, LogBaseConfig(segment_size=8 * 1024))
+    ranges = [(b"", b"g"), (b"g", b"p"), (b"t", None)]
+    for i, (start, end) in enumerate(ranges):
+        srv.assign_tablet(Tablet(TabletId("events", i), KeyRange(start, end), schema))
+    return srv
+
+
+def test_route_picks_covering_tablet(multi_server):
+    for key, expected in ((b"a", 0), (b"f", 0), (b"g", 1), (b"o", 1), (b"t", 2), (b"z", 2)):
+        tablet = multi_server._route("events", key)
+        assert tablet.tablet_id.ordinal == expected, key
+
+
+def test_route_rejects_gap_keys(multi_server):
+    with pytest.raises(TabletNotFound):
+        multi_server._route("events", b"q")  # in the [p, t) gap
+
+
+def test_route_cache_invalidated_on_assign(multi_server, schema):
+    with pytest.raises(TabletNotFound):
+        multi_server.write("events", b"q", {"payload": b"v"})
+    multi_server.assign_tablet(
+        Tablet(TabletId("events", 3), KeyRange(b"p", b"t"), schema)
+    )
+    ts = multi_server.write("events", b"q", {"payload": b"v"})
+    assert multi_server.read("events", b"q", "payload") == (ts, b"v")
+
+
+def test_route_cache_invalidated_on_unassign(multi_server):
+    multi_server.write("events", b"z", {"payload": b"v"})
+    multi_server.unassign_tablet(TabletId("events", 2))
+    with pytest.raises(TabletNotFound):
+        multi_server.write("events", b"z", {"payload": b"v"})
+
+
+def test_routed_writes_land_in_per_tablet_indexes(multi_server):
+    multi_server.write("events", b"a", {"payload": b"1"})
+    multi_server.write("events", b"h", {"payload": b"2"})
+    assert ("events#0", "payload") in multi_server.indexes()
+    assert multi_server.indexes()[("events#0", "payload")].lookup_latest(b"a")
+    assert multi_server.indexes()[("events#1", "payload")].lookup_latest(b"h")
+    assert multi_server.indexes()[("events#0", "payload")].lookup_latest(b"h") is None
+
+
+# -- incremental compaction (server level) ----------------------------------
+
+
+@pytest.fixture
+def inc_server(dfs, machines, schema, tso):
+    config = LogBaseConfig.with_incremental_compaction(
+        segment_size=8 * 1024, compaction_tier_fanout=2
+    )
+    srv = TabletServer("ts-i", machines[2], dfs, tso, config)
+    srv.assign_tablet(Tablet(TabletId("events", 0), KeyRange(b"", None), schema))
+    return srv
+
+
+def test_incremental_compaction_preserves_reads(inc_server):
+    for i in range(30):
+        inc_server.write("events", f"k{i:02d}".encode(), {"payload": f"v{i}".encode()})
+    inc_server.delete("events", b"k05", "payload")
+    result = inc_server.compact()
+    assert result.stats.kept_versions > 0
+    assert inc_server.read("events", b"k07", "payload")[1] == b"v7"
+    assert inc_server.read("events", b"k05", "payload") is None
+
+
+def test_incremental_rounds_keep_scans_correct(inc_server):
+    """Several churn rounds: every round compacts, later rounds trigger
+    merge plans (fanout=2), and scans always see the latest versions."""
+    for round_no in range(4):
+        for i in range(12):
+            inc_server.write(
+                "events", f"k{i:02d}".encode(), {"payload": f"r{round_no}".encode()}
+            )
+        inc_server.compact()
+    rows = list(inc_server.range_scan("events", "payload", b"", b"z"))
+    assert [(key, value) for key, _, value in rows] == [
+        (f"k{i:02d}".encode(), b"r3") for i in range(12)
+    ]
+
+
+def test_incremental_compaction_leaves_untouched_runs(inc_server):
+    inc_server.write("events", b"a", {"payload": b"v"})
+    inc_server.compact()
+    runs_after_first = [
+        f for f in inc_server.log.segments() if inc_server.log.is_sorted_segment(f)
+    ]
+    assert len(runs_after_first) == 1
+    # A second round with only fresh tail data (below the merge fanout)
+    # must not rewrite the existing run.
+    inc_server.write("events", b"b", {"payload": b"v"})
+    result = inc_server.compact()
+    assert set(runs_after_first) <= set(inc_server.log.segments())
+    assert set(result.retired_segments).isdisjoint(runs_after_first)
+
+
+def test_incremental_compaction_with_retention_cutoff(inc_server):
+    timestamps = [
+        inc_server.write("events", b"k", {"payload": f"v{i}".encode()})
+        for i in range(5)
+    ]
+    result = inc_server.compact(retain_after=timestamps[3])
+    assert result.stats.dropped_obsolete == 3
+    assert inc_server.read("events", b"k", "payload")[1] == b"v4"
+    assert inc_server.read("events", b"k", "payload", as_of=timestamps[1]) is None
+
+
+def test_incremental_patch_leaves_other_group_index_alone(inc_server):
+    inc_server.write("events", b"k", {"payload": b"p", "meta": b"m"})
+    inc_server.compact()
+    meta_index = inc_server.indexes()[("events#0", "meta")]
+    # Next round's tail holds only payload data: the meta index object
+    # must survive the round untouched.
+    inc_server.write("events", b"k2", {"payload": b"p2"})
+    inc_server.compact()
+    assert inc_server.indexes()[("events#0", "meta")] is meta_index
+    assert inc_server.indexes()[("events#0", "payload")] is not meta_index
+    assert inc_server.read("events", b"k", "meta")[1] == b"m"
+    assert inc_server.read("events", b"k2", "payload")[1] == b"p2"
+
+
+def test_merge_round_does_not_resurrect_deleted_key(inc_server):
+    """A merge plan re-reads old runs that still hold a deleted key's
+    versions while the delete marker sits in the unsorted tail outside
+    the plan: index patching must not re-insert versions the live index
+    already dropped."""
+    for round_no in range(2):  # two similar-sized runs fill the tier
+        for i in range(12):
+            inc_server.write(
+                "events", f"k{i:02d}".encode(), {"payload": f"r{round_no}".encode()}
+            )
+        inc_server.compact()
+    runs = [f for f in inc_server.log.segments() if inc_server.log.is_sorted_segment(f)]
+    assert len(runs) == 2
+    inc_server.delete("events", b"k07", "payload")
+    result = inc_server.compact()  # merge plan over both runs + tail plan
+    assert set(runs) <= set(result.retired_segments)
+    assert inc_server.read("events", b"k07", "payload") is None
+    rows = list(inc_server.range_scan("events", "payload", b"", b"z"))
+    assert [key for key, _, _ in rows] == [
+        f"k{i:02d}".encode() for i in range(12) if i != 7
+    ]
+
+
+def test_crash_between_plans_does_not_resurrect_on_recovery(inc_server, dfs, schema):
+    """Crash after the merge plan installs but before the tail plan: the
+    merged run (holding the deleted key's old versions) now carries a
+    higher file number than the tail segment holding the delete marker,
+    so a file-order redo sees the tombstone *before* the shadowed writes
+    — the key must stay dead through recovery."""
+    for round_no in range(2):
+        for i in range(12):
+            inc_server.write(
+                "events", f"k{i:02d}".encode(), {"payload": f"r{round_no}".encode()}
+            )
+        inc_server.compact()
+    inc_server.delete("events", b"k07", "payload")
+
+    def boom(_ctx):
+        raise RuntimeError("crashed mid-round")
+
+    plan = FaultPlan()
+    plan.add(CP_COMPACTION_MID, boom, hits=2, machine=inc_server.machine.name)
+    with fault_plan(plan):
+        with pytest.raises(RuntimeError):
+            inc_server.compact()
+    inc_server.crash()
+    inc_server.restart()
+    inc_server.assign_tablet(Tablet(TabletId("events", 0), KeyRange(b"", None), schema))
+    recover_server(inc_server, CheckpointManager(dfs, inc_server))
+    assert inc_server.read("events", b"k07", "payload") is None
+    assert inc_server.read("events", b"k06", "payload")[1] == b"r1"
+    # The next round finishes the interrupted work; the key stays dead.
+    inc_server.compact()
+    assert inc_server.read("events", b"k07", "payload") is None
+
+
+# -- incremental compaction with LSM indexes --------------------------------
+
+
+@pytest.fixture
+def lsm_server(dfs, machines, schema, tso):
+    config = LogBaseConfig.with_incremental_compaction(
+        segment_size=8 * 1024, compaction_tier_fanout=2, index_kind="lsm"
+    )
+    srv = TabletServer("ts-l", machines[2], dfs, tso, config)
+    srv.assign_tablet(Tablet(TabletId("events", 0), KeyRange(b"", None), schema))
+    return srv
+
+
+def _lsm_run_files(dfs, name):
+    return sorted(
+        path
+        for path in dfs.list_files(f"/logbase/{name}/lsm/")
+        if "manifest" not in path
+    )
+
+
+def test_incremental_destroys_only_replaced_lsm_runs(lsm_server, dfs):
+    lsm_server.write("events", b"k", {"payload": b"p", "meta": b"m"})
+    lsm_server.compact()
+    # Flush both groups' indexes so each owns run files on the DFS.
+    for index in lsm_server.indexes().values():
+        index.flush()
+    meta_index = lsm_server.indexes()[("events#0", "meta")]
+    meta_runs_before = [
+        f for f in _lsm_run_files(dfs, "ts-l") if "/meta/" in f
+    ]
+    assert meta_runs_before
+    # A payload-only round: the meta index and its run files survive.
+    lsm_server.write("events", b"k2", {"payload": b"p2"})
+    lsm_server.compact()
+    assert lsm_server.indexes()[("events#0", "meta")] is meta_index
+    meta_runs_after = [f for f in _lsm_run_files(dfs, "ts-l") if "/meta/" in f]
+    assert meta_runs_after == meta_runs_before
+    assert lsm_server.read("events", b"k", "meta")[1] == b"m"
+    assert lsm_server.read("events", b"k2", "payload")[1] == b"p2"
+
+
+def test_replaced_lsm_group_drops_old_generation_files(lsm_server, dfs):
+    lsm_server.write("events", b"k", {"payload": b"p"})
+    lsm_server.compact()
+    lsm_server.indexes()[("events#0", "payload")].flush()
+    old_payload_runs = [
+        f for f in _lsm_run_files(dfs, "ts-l") if "/payload/" in f
+    ]
+    assert old_payload_runs
+    lsm_server.write("events", b"k2", {"payload": b"p2"})
+    lsm_server.compact()
+    remaining = _lsm_run_files(dfs, "ts-l")
+    for path in old_payload_runs:
+        assert path not in remaining  # old generation destroyed
+    assert lsm_server.read("events", b"k", "payload")[1] == b"p"
+
+
+def test_crash_mid_round_leaves_both_generations_readable(lsm_server):
+    """Crash on the SECOND plan of a round (hits=2): the first plan is
+    fully installed, the second never installs — reads must keep working
+    across old and new generations, and the next round completes."""
+    # Round 1 and 2 each leave one sorted run; round 3 plans a merge of
+    # the two runs (fanout=2) followed by a tail plan — two plans.
+    lsm_server.write("events", b"k1", {"payload": b"v1"})
+    lsm_server.compact()
+    lsm_server.write("events", b"k2", {"payload": b"v2"})
+    lsm_server.compact()
+    lsm_server.write("events", b"k3", {"payload": b"v3"})
+
+    def boom(_ctx):
+        raise RuntimeError("crashed mid-round")
+
+    plan = FaultPlan()
+    plan.add(CP_COMPACTION_MID, boom, hits=2, machine=lsm_server.machine.name)
+    with fault_plan(plan):
+        with pytest.raises(RuntimeError):
+            lsm_server.compact()
+    # Merge plan installed, tail plan aborted before install: every key
+    # is still readable (k3 through the untouched tail segments).
+    for key, value in ((b"k1", b"v1"), (b"k2", b"v2"), (b"k3", b"v3")):
+        assert lsm_server.read("events", key, "payload")[1] == value
+    # The next round finishes the interrupted work.
+    lsm_server.compact()
+    for key, value in ((b"k1", b"v1"), (b"k2", b"v2"), (b"k3", b"v3")):
+        assert lsm_server.read("events", key, "payload")[1] == value
 
 
 def test_compact_with_retention_cutoff(server):

@@ -3,6 +3,8 @@
 import pytest
 
 from repro.errors import InvalidLogPointer
+from repro.sim.failure import CP_META_PERSIST, FaultPlan, fault_plan
+from repro.wal.compaction import CompactionJob
 from repro.wal.record import LogRecord, RecordType
 from repro.wal.repository import LogRepository
 
@@ -109,3 +111,81 @@ def test_set_next_lsn_only_forward(repo):
 
 def test_empty_batch_is_noop(repo):
     assert repo.append_batch([]) == []
+
+
+# -- oversized batches ------------------------------------------------------
+
+
+def test_append_batch_splits_across_rolls(repo, machines):
+    """A batch bigger than one segment must split across rolls instead of
+    blowing a single segment past the threshold — one DFS round trip per
+    resulting segment."""
+    records = [write_record(str(i).encode(), b"x" * 1000) for i in range(8)]
+    before = machines[0].counters.get("net.messages")
+    pairs = repo.append_batch(records)
+    segments_touched = len(repo.segments())
+    assert segments_touched >= 2
+    for file_no in repo.segments():
+        assert repo.segment_bytes(file_no) <= 4096
+    assert machines[0].counters.get("net.messages") - before == segments_touched
+    for pointer, stamped in pairs:
+        assert repo.read(pointer) == stamped
+    scanned = [record for _, record in repo.scan_all()]
+    assert scanned == [stamped for _, stamped in pairs]
+
+
+def test_append_batch_single_record_larger_than_segment(repo):
+    pairs = repo.append_batch(
+        [write_record(b"big", b"x" * 8000), write_record(b"small", b"v")]
+    )
+    # The oversized record goes alone; the next record opens a new segment.
+    assert len(repo.segments()) == 2
+    for pointer, stamped in pairs:
+        assert repo.read(pointer) == stamped
+
+
+# -- atomic metadata persistence --------------------------------------------
+
+
+def _crash(_ctx):
+    raise RuntimeError("crashed mid-persist")
+
+
+def test_meta_swap_crash_leaves_complete_map(repo, dfs, machines):
+    """Regression: the old code deleted ``segments.meta`` before
+    re-creating it, so a crash in between lost the slim map and reads of
+    sorted segments came back without table/group.  The swap now goes
+    through a temp file; a crash after the temp is complete but before
+    the rename must still let ``reattach`` recover the new map."""
+    repo.append(write_record(b"k", b"payload"))
+    plan = FaultPlan()
+    plan.add(CP_META_PERSIST, _crash, machine=machines[0].name)
+    with fault_plan(plan):
+        with pytest.raises(RuntimeError):
+            CompactionJob(repo).run()
+    attached = LogRepository.reattach(dfs, machines[1], "/logbase/ts-0/log")
+    (file_no,) = attached.segments()
+    assert attached.segment_scope(file_no) == ("t", "g")
+    (record,) = [record for _, record in attached.scan_segment(file_no)]
+    assert record.table == "t" and record.group == "g"
+    assert record.value == b"payload"
+
+
+def test_reattach_ignores_torn_meta_tmp(repo, dfs, machines):
+    """An unparseable temp file is a crash mid-write: reattach must fall
+    back to the old complete map it never replaced."""
+    repo.append(write_record(b"k", b"v"))
+    CompactionJob(repo).run()
+    expected = {f: repo.segment_scope(f) for f in repo.segments()}
+    writer = dfs.create("/logbase/ts-0/log/segments.meta.tmp", machines[0])
+    writer.append(b'{"torn')
+    writer.close()
+    attached = LogRepository.reattach(dfs, machines[1], "/logbase/ts-0/log")
+    assert {f: attached.segment_scope(f) for f in attached.segments()} == expected
+
+
+def test_meta_swap_cleans_up_tmp(repo, dfs):
+    repo.append(write_record(b"k", b"v"))
+    CompactionJob(repo).run()
+    assert not dfs.exists("/logbase/ts-0/log/segments.meta.tmp")
+    assert dfs.exists("/logbase/ts-0/log/segments.meta")
