@@ -32,6 +32,7 @@ from repro.errors import (
     ServerDownError,
     TransactionAborted,
 )
+from repro.obs.hist import Histogram
 from repro.sim.failure import FaultPlan, fault_plan
 from repro.sim.metrics import (
     ADMISSION_SHED,
@@ -41,6 +42,7 @@ from repro.sim.metrics import (
     DFS_HEDGE_FIRED,
     DFS_HEDGE_LOSSES,
     DFS_HEDGE_WINS,
+    HIST_CHAOS_READ_LATENCY,
 )
 
 TABLE = "chaos"
@@ -124,7 +126,12 @@ class ChaosReport:
 
 
 def _percentile(samples: list[float], q: float) -> float:
-    """Nearest-rank percentile of ``samples`` (0 when empty)."""
+    """Nearest-rank percentile of ``samples`` (0 when empty).
+
+    Reference implementation: report percentiles now come from the
+    :class:`~repro.obs.hist.Histogram`; the control-arm identity test
+    asserts the histogram reproduces this list-based computation.
+    """
     if not samples:
         return 0.0
     ordered = sorted(samples)
@@ -143,7 +150,9 @@ class _Workload:
         self.rescued_ops = 0
         self.expired: list[str] = []
         self.rereplicated = 0
-        self.read_latencies: list[float] = []
+        # Read-latency tail without storing samples: gray-failure
+        # mitigation is judged on this histogram's p50/p99/max.
+        self.read_latency = Histogram(HIST_CHAOS_READ_LATENCY)
         self._used_keys: set[bytes] = set()
         self._overwrite_pool: list[bytes] = []
         # Key ranges per tablet, so transaction keys can be co-located on
@@ -261,7 +270,7 @@ class _Workload:
                 return None
             return self.oracle.check_read(key, value)
         finally:
-            self.read_latencies.append(self.client.last_op_seconds)
+            self.read_latency.record(self.client.last_op_seconds)
 
     def checkpoint_all(self) -> None:
         for server in self.db.cluster.servers:
@@ -390,10 +399,11 @@ def run_chaos(
     report.breaker_trips = int(totals.get(BREAKER_TRIPS, 0))
     report.admission_sheds = int(totals.get(ADMISSION_SHED, 0))
     report.deadline_exceeded = int(totals.get(DEADLINES_EXCEEDED, 0))
-    report.reads = len(workload.read_latencies)
-    report.read_p50 = _percentile(workload.read_latencies, 0.50)
-    report.read_p99 = _percentile(workload.read_latencies, 0.99)
-    report.read_max = max(workload.read_latencies, default=0.0)
+    hist = workload.read_latency
+    report.reads = int(hist.count)
+    report.read_p50 = hist.percentile(0.50)
+    report.read_p99 = hist.percentile(0.99)
+    report.read_max = hist.max if hist.count else 0.0
     report.under_replicated_after = len(
         db.cluster.dfs.namenode.under_replicated
     )

@@ -109,6 +109,14 @@ class LogBaseConfig:
         compaction_max_input_bytes: I/O budget per compaction plan —
             a plan stops adding input segments past this many bytes
             (None removes the cap).
+        tracing: install a :class:`~repro.obs.trace.Tracer` on the
+            cluster and open spans at every gated entry point (client
+            ops, tablet-server calls, compaction, recovery), attributing
+            each charged simulated second to the innermost open span.
+            Off by default so the seed figures are reproduced
+            byte-identically; :meth:`with_tracing` enables it.
+        trace_ring: closed traces retained in the tracer's ring buffer.
+        trace_slow_samples: worst traces kept per operation type.
         index_kind: ``"blink"`` (in-memory) or ``"lsm"`` (spill to DFS).
         max_versions: versions kept per key by compaction (None = all).
         disk: device cost model for every machine.
@@ -151,6 +159,9 @@ class LogBaseConfig:
     incremental_compaction: bool = False
     compaction_tier_fanout: int = 4
     compaction_max_input_bytes: int | None = None
+    tracing: bool = False
+    trace_ring: int = 512
+    trace_slow_samples: int = 4
     index_kind: str = "blink"
     max_versions: int | None = None
     disk: DiskModel = field(default_factory=DiskModel)
@@ -254,6 +265,23 @@ class LogBaseConfig:
         settings.update(overrides)
         return cls(**settings)
 
+    @classmethod
+    def with_tracing(cls, **overrides) -> "LogBaseConfig":
+        """A config with the observability subsystem enabled: the cluster
+        installs a tracer, every charged simulated second is attributed to
+        a span, and per-op latency histograms + the critical-path report
+        become available through ``cluster.tracer``.
+
+        The plain constructor keeps it off so the seed cost model and
+        figures are reproduced byte-identically; this preset is what the
+        trace benchmark (``bench_obs``) measures.
+        """
+        settings: dict = {
+            "tracing": True,
+        }
+        settings.update(overrides)
+        return cls(**settings)
+
     def gray_policy(self):
         """The :class:`~repro.sim.health.GrayPolicy` for this config, or
         None when the ``gray_resilience`` gate is off."""
@@ -323,3 +351,7 @@ class LogBaseConfig:
             and self.compaction_max_input_bytes < 1
         ):
             raise ValueError("compaction_max_input_bytes must be >= 1 or None")
+        if self.trace_ring < 1:
+            raise ValueError("trace_ring must be >= 1")
+        if self.trace_slow_samples < 0:
+            raise ValueError("trace_slow_samples must be >= 0")

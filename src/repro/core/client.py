@@ -10,10 +10,13 @@ server-side work is charged to the server's machine by the server itself.
 
 from __future__ import annotations
 
+from contextlib import nullcontext
+
 from repro.core.master import Master
 from repro.core.schema import decode_group_value, encode_group_value
 from repro.core.tablet import Tablet
 from repro.errors import ServerDownError, ServerOverloadedError, TabletNotFound
+from repro.obs.trace import root_span, span
 from repro.sim.deadline import Deadline, deadline_scope
 from repro.sim.health import CircuitBreaker, GrayPolicy
 from repro.sim.machine import Machine
@@ -22,9 +25,14 @@ from repro.sim.metrics import (
     CLIENT_BREAKER_WAITS,
     CLIENT_RETRIES,
     DEADLINES_EXCEEDED,
+    SPAN_CLIENT_BREAKER_WAIT,
+    SPAN_CLIENT_RETRY,
+    SPAN_RPC_SERVER,
 )
 
 _REQUEST_OVERHEAD = 64  # approximate request framing bytes
+
+_NO_TRACE = nullcontext()
 
 
 class Client:
@@ -47,6 +55,9 @@ class Client:
         gray_policy: gray-resilience policy; when it enables breakers the
             client keeps a per-server latency circuit breaker and waits
             out an open breaker's cooldown before probing the server.
+        tracing: open a root span per client operation (put/get/delete/
+            scan); requires a tracer installed by the cluster to record
+            anything.
     """
 
     def __init__(
@@ -58,9 +69,11 @@ class Client:
         retry_backoff_max: float = 30.0,
         op_deadline: float | None = None,
         gray_policy: GrayPolicy | None = None,
+        tracing: bool = False,
     ) -> None:
         self._master = master
         self._machine = machine
+        self._tracing = tracing
         self._retry_limit = retry_limit
         self._retry_backoff = retry_backoff
         self._retry_backoff_max = retry_backoff_max
@@ -73,6 +86,13 @@ class Client:
         # table -> list of (server name, tablet), cached after first lookup
         self._locations: dict[str, list[tuple[str, Tablet]]] = {}
         self.last_op_seconds = 0.0
+
+    def _op_span(self, name: str, **attrs):
+        """A root span for one client operation, or a no-op when this
+        client is untraced (the per-call cost of tracing-off)."""
+        if self._tracing:
+            return root_span(name, self._machine, **attrs)
+        return _NO_TRACE
 
     # -- routing ------------------------------------------------------------------
 
@@ -150,7 +170,8 @@ class Client:
             wait = breaker.remaining_cooldown(self._machine.clock.now)
             if wait > 0:
                 self._machine.counters.add(CLIENT_BREAKER_WAITS)
-                self._machine.clock.advance(wait)
+                with span(SPAN_CLIENT_BREAKER_WAIT, self._machine, server=server.name):
+                    self._machine.clock.advance(wait)
             breaker.allow(self._machine.clock.now)  # admit the probe
         start = server.machine.clock.now
         rpc = self._machine.network.rpc_cost(
@@ -172,7 +193,12 @@ class Client:
                     server.machine.clock.now,
                     counters=server.machine.counters,
                 )
-            with deadline_scope(deadline):
+            # The one cross-clock hop the client's clock never pays for:
+            # anchored on the server machine, this child span is what the
+            # trace tree adds back into end-to-end latency.
+            with deadline_scope(deadline), span(
+                SPAN_RPC_SERVER, server.machine, server=server.name
+            ):
                 result = op()
             if admission is not None:
                 admission.observe(server.machine.clock.now - start)
@@ -250,15 +276,17 @@ class Client:
                     raise
                 attempts += 1
                 self._machine.counters.add(CLIENT_RETRIES)
-                self._machine.clock.advance(self._backoff(attempts))
+                with span(SPAN_CLIENT_RETRY, self._machine, attempt=attempts):
+                    self._machine.clock.advance(self._backoff(attempts))
             except ServerOverloadedError as exc:
                 if attempts >= self._retry_limit:
                     raise
                 attempts += 1
                 self._machine.counters.add(CLIENT_RETRIES)
-                self._machine.clock.advance(
-                    max(exc.retry_after, self._backoff(attempts))
-                )
+                with span(SPAN_CLIENT_RETRY, self._machine, attempt=attempts):
+                    self._machine.clock.advance(
+                        max(exc.retry_after, self._backoff(attempts))
+                    )
 
     # -- typed API -----------------------------------------------------------------------
 
@@ -274,19 +302,21 @@ class Client:
             group: encode_group_value(columns) for group, columns in row.items()
         }
         size = sum(len(v) for v in payload.values()) + len(key)
-        return self._routed_call(
-            table, key, size + _REQUEST_OVERHEAD, 16,
-            lambda server: lambda: server.write(table, key, payload),
-        )
+        with self._op_span("op.put", table=table, bytes=size):
+            return self._routed_call(
+                table, key, size + _REQUEST_OVERHEAD, 16,
+                lambda server: lambda: server.write(table, key, payload),
+            )
 
     def get(
         self, table: str, key: bytes, group: str, *, as_of: int | None = None
     ) -> dict[str, bytes] | None:
         """Read one column group of a record; None if absent."""
-        result = self._routed_call(
-            table, key, _REQUEST_OVERHEAD + len(key), 1024,
-            lambda server: lambda: server.read(table, key, group, as_of=as_of),
-        )
+        with self._op_span("op.get", table=table, group=group):
+            result = self._routed_call(
+                table, key, _REQUEST_OVERHEAD + len(key), 1024,
+                lambda server: lambda: server.read(table, key, group, as_of=as_of),
+            )
         if result is None:
             return None
         _, value = result
@@ -307,11 +337,12 @@ class Client:
         """Delete a record (one group, or every group when None)."""
         schema = self._master.schema(table)
         groups = [group] if group is not None else schema.group_names
-        for group_name in groups:
-            self._routed_call(
-                table, key, _REQUEST_OVERHEAD + len(key), 16,
-                lambda server, g=group_name: lambda: server.delete(table, key, g),
-            )
+        with self._op_span("op.delete", table=table):
+            for group_name in groups:
+                self._routed_call(
+                    table, key, _REQUEST_OVERHEAD + len(key), 16,
+                    lambda server, g=group_name: lambda: server.delete(table, key, g),
+                )
 
     def scan(
         self,
@@ -344,6 +375,17 @@ class Client:
         as_of: int | None,
     ) -> list[tuple[bytes, bytes]]:
         """Fetch raw (key, payload) rows for a range scan, sorted by key."""
+        with self._op_span("op.scan", table=table, group=group):
+            return self._scan_rows_inner(table, group, start_key, end_key, as_of)
+
+    def _scan_rows_inner(
+        self,
+        table: str,
+        group: str,
+        start_key: bytes,
+        end_key: bytes,
+        as_of: int | None,
+    ) -> list[tuple[bytes, bytes]]:
         if table not in self._locations:
             self._locate(table, start_key)
         results: list[tuple[bytes, bytes]] = []
@@ -375,19 +417,21 @@ class Client:
 
     def put_raw(self, table: str, key: bytes, group: str, value: bytes) -> int:
         """Write one opaque group payload (no column encoding)."""
-        return self._routed_call(
-            table, key, len(value) + len(key) + _REQUEST_OVERHEAD, 16,
-            lambda server: lambda: server.write(table, key, {group: value}),
-        )
+        with self._op_span("op.put", table=table, bytes=len(value)):
+            return self._routed_call(
+                table, key, len(value) + len(key) + _REQUEST_OVERHEAD, 16,
+                lambda server: lambda: server.write(table, key, {group: value}),
+            )
 
     def get_raw(
         self, table: str, key: bytes, group: str, *, as_of: int | None = None
     ) -> bytes | None:
         """Read one opaque group payload."""
-        result = self._routed_call(
-            table, key, _REQUEST_OVERHEAD + len(key), 1024,
-            lambda server: lambda: server.read(table, key, group, as_of=as_of),
-        )
+        with self._op_span("op.get", table=table, group=group):
+            result = self._routed_call(
+                table, key, _REQUEST_OVERHEAD + len(key), 1024,
+                lambda server: lambda: server.read(table, key, group, as_of=as_of),
+            )
         return None if result is None else result[1]
 
     def scan_raw(

@@ -14,9 +14,11 @@ from repro.core.checkpoint import CheckpointManager
 from repro.core.master import Master, SharedCatalog
 from repro.core.tablet_server import TabletServer
 from repro.dfs.filesystem import DFS
+from repro.obs.trace import Tracer, install_tracer
 from repro.sim.clock import makespan
 from repro.sim.failure import FailureInjector
 from repro.sim.machine import Machine
+from repro.sim.metrics import Counters
 
 
 class LogBaseCluster:
@@ -62,6 +64,14 @@ class LogBaseCluster:
             degraded_allocation=self.config.dfs_degraded_allocation,
             gray=self.config.gray_policy(),
         )
+        if self.config.tracing:
+            self.tracer: Tracer | None = Tracer(
+                ring=self.config.trace_ring,
+                slow_samples=self.config.trace_slow_samples,
+            )
+            install_tracer(self.tracer)
+        else:
+            self.tracer = None
         self.coordination = CoordinationService()
         self.tso = TimestampOracle(self.coordination)
         catalog = SharedCatalog()
@@ -141,11 +151,10 @@ class LogBaseCluster:
 
     def total_counters(self) -> dict[str, float]:
         """Cluster-wide counter totals."""
-        totals: dict[str, float] = {}
+        totals = Counters()
         for machine in self.machines:
-            for name, value in machine.counters:
-                totals[name] = totals.get(name, 0.0) + value
-        return totals
+            totals.merge(machine.counters)
+        return totals.snapshot()
 
     def kill_server(self, name: str, *, permanent: bool = False):
         """Crash a tablet server; optionally trigger permanent failover.

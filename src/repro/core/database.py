@@ -41,7 +41,10 @@ class LogBase:
     ) -> None:
         self.cluster = LogBaseCluster(n_nodes, config, n_masters)
         self.txn_manager = TransactionManager(
-            self.cluster.master, self.cluster.tso, self.cluster.coordination
+            self.cluster.master,
+            self.cluster.tso,
+            self.cluster.coordination,
+            tracing=self.cluster.config.tracing,
         )
         self._default_client = self.client()
 
@@ -78,6 +81,7 @@ class LogBase:
             retry_backoff_max=config.client_retry_backoff_max,
             op_deadline=config.op_deadline if config.gray_resilience else None,
             gray_policy=config.gray_policy(),
+            tracing=config.tracing,
         )
 
     def begin(self) -> Transaction:

@@ -23,7 +23,13 @@ from repro.core.checkpoint import CheckpointManager
 from repro.core.tablet_server import TabletServer
 from repro.dfs.filesystem import DFS
 from repro.errors import TabletNotFound
+from repro.obs.trace import root_span, span
 from repro.sim.machine import Machine
+from repro.sim.metrics import (
+    SPAN_RECOVERY_ADOPT,
+    SPAN_RECOVERY_RECOVER,
+    SPAN_RECOVERY_REDO,
+)
 from repro.wal.record import LogPointer, LogRecord, RecordType
 from repro.wal.repository import LogRepository
 
@@ -68,29 +74,30 @@ def redo_scan(
     pending: dict[int, list[tuple[LogPointer, LogRecord]]] = defaultdict(list)
     tombstones: dict[tuple[str, str, bytes], int] = {}
     max_lsn = min_lsn
-    for pointer, record in log.scan_all(start=start):
-        report.records_scanned += 1
-        max_lsn = max(max_lsn, record.lsn)
-        if record.lsn <= min_lsn:
-            continue
-        if record.record_type is RecordType.WRITE:
-            if record.txn_id == 0:
-                _apply(server, record, pointer, report, tombstones)
-            else:
-                pending[record.txn_id].append((pointer, record))
-        elif record.record_type is RecordType.INVALIDATE:
-            if record.txn_id == 0:
-                _apply_delete(server, record, report, tombstones)
-            else:
-                pending[record.txn_id].append((pointer, record))
-        elif record.record_type is RecordType.COMMIT:
-            for buffered_pointer, buffered in pending.pop(record.txn_id, []):
-                if buffered.record_type is RecordType.WRITE:
-                    _apply(server, buffered, buffered_pointer, report, tombstones)
+    with span(SPAN_RECOVERY_REDO, log.machine):
+        for pointer, record in log.scan_all(start=start):
+            report.records_scanned += 1
+            max_lsn = max(max_lsn, record.lsn)
+            if record.lsn <= min_lsn:
+                continue
+            if record.record_type is RecordType.WRITE:
+                if record.txn_id == 0:
+                    _apply(server, record, pointer, report, tombstones)
                 else:
-                    _apply_delete(server, buffered, report, tombstones)
-        elif record.record_type is RecordType.ABORT:
-            pending.pop(record.txn_id, None)
+                    pending[record.txn_id].append((pointer, record))
+            elif record.record_type is RecordType.INVALIDATE:
+                if record.txn_id == 0:
+                    _apply_delete(server, record, report, tombstones)
+                else:
+                    pending[record.txn_id].append((pointer, record))
+            elif record.record_type is RecordType.COMMIT:
+                for buffered_pointer, buffered in pending.pop(record.txn_id, []):
+                    if buffered.record_type is RecordType.WRITE:
+                        _apply(server, buffered, buffered_pointer, report, tombstones)
+                    else:
+                        _apply_delete(server, buffered, report, tombstones)
+            elif record.record_type is RecordType.ABORT:
+                pending.pop(record.txn_id, None)
     report.uncommitted_ignored = sum(len(v) for v in pending.values())
     server.log.set_next_lsn(max_lsn + 1)
     return report
@@ -149,21 +156,29 @@ def _apply_delete(
 def recover_server(server: TabletServer, checkpoints: CheckpointManager) -> RecoveryReport:
     """Full restart recovery: reload checkpoint (if any) then redo the tail."""
     start_clock = server.machine.clock.now
-    # Spilled (LSM) indexes can reopen their flushed runs from the
-    # manifest instead of rebuilding them from the log.
-    for index in server.indexes().values():
-        reopen = getattr(index, "reopen", None)
-        if reopen is not None:
-            reopen()
-    start: LogPointer | None = None
-    min_lsn = 0
-    used = False
-    if checkpoints.has_checkpoint():
-        block = checkpoints.load_checkpoint()
-        start = block.position
-        min_lsn = block.lsn
-        used = True
-    report = redo_scan(server, start=start, min_lsn=min_lsn)
+    # Recovery runs with no client op open, so on a traced cluster it
+    # starts its own trace; on an untraced one the span is a no-op.
+    scope = (
+        root_span(SPAN_RECOVERY_RECOVER, server.machine, server=server.name)
+        if server.config.tracing
+        else span(SPAN_RECOVERY_RECOVER, server.machine, server=server.name)
+    )
+    with scope:
+        # Spilled (LSM) indexes can reopen their flushed runs from the
+        # manifest instead of rebuilding them from the log.
+        for index in server.indexes().values():
+            reopen = getattr(index, "reopen", None)
+            if reopen is not None:
+                reopen()
+        start: LogPointer | None = None
+        min_lsn = 0
+        used = False
+        if checkpoints.has_checkpoint():
+            block = checkpoints.load_checkpoint()
+            start = block.position
+            min_lsn = block.lsn
+            used = True
+        report = redo_scan(server, start=start, min_lsn=min_lsn)
     report.used_checkpoint = used
     report.checkpoint_lsn = min_lsn
     report.seconds = server.machine.clock.now - start_clock
@@ -270,17 +285,23 @@ def adopt_split_log(
             server.log.append(as_committed(record))
             _apply_delete(server, record, report, tombstones)
 
-    for _, record in split_repo.scan_all():
-        report.records_scanned += 1
-        if record.record_type in (RecordType.WRITE, RecordType.INVALIDATE):
-            if record.txn_id == 0:
-                replay(record)
-            else:
-                pending[record.txn_id].append(record)
-        elif record.record_type is RecordType.COMMIT:
-            for buffered in pending.pop(record.txn_id, []):
-                replay(buffered)
-        elif record.record_type is RecordType.ABORT:
-            pending.pop(record.txn_id, None)
+    scope = (
+        root_span(SPAN_RECOVERY_ADOPT, server.machine, tablet=tablet_id)
+        if server.config.tracing
+        else span(SPAN_RECOVERY_ADOPT, server.machine, tablet=tablet_id)
+    )
+    with scope:
+        for _, record in split_repo.scan_all():
+            report.records_scanned += 1
+            if record.record_type in (RecordType.WRITE, RecordType.INVALIDATE):
+                if record.txn_id == 0:
+                    replay(record)
+                else:
+                    pending[record.txn_id].append(record)
+            elif record.record_type is RecordType.COMMIT:
+                for buffered in pending.pop(record.txn_id, []):
+                    replay(buffered)
+            elif record.record_type is RecordType.ABORT:
+                pending.pop(record.txn_id, None)
     report.uncommitted_ignored = sum(len(v) for v in pending.values())
     return report

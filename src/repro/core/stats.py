@@ -107,8 +107,13 @@ def collect_cluster_stats(cluster: LogBaseCluster) -> ClusterStats:
     )
 
 
-def format_stats(stats: ClusterStats) -> str:
-    """Human-readable rendering of a cluster snapshot."""
+def format_stats(stats: ClusterStats, tracer=None) -> str:
+    """Human-readable rendering of a cluster snapshot.
+
+    With a tracer (``cluster.tracer`` on a traced cluster) the "where did
+    the time go" report — per-layer breakdown, latency histograms, and
+    slowest traces with their critical paths — is appended.
+    """
     lines = [
         f"cluster: {len(stats.servers)} servers, "
         f"makespan {stats.makespan_seconds:.4f}s, "
@@ -156,4 +161,9 @@ def format_stats(stats: ClusterStats) -> str:
         f"{name}={stats.counters.get(name, 0):,.0f}" for name in interesting
     )
     lines.append(f"  totals: {totals}")
+    if tracer is not None:
+        from repro.obs.analyze import format_time_report
+
+        lines.append("")
+        lines.append(format_time_report(tracer))
     return "\n".join(lines)

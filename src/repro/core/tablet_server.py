@@ -23,10 +23,20 @@ from repro.errors import ServerDownError, TabletNotFound
 from repro.index.blink import BLinkTreeIndex
 from repro.index.interface import MultiversionIndex
 from repro.index.lsm import LSMTreeIndex
+from repro.obs.trace import root_span, span
 from repro.query.secondary import SecondaryIndexManager
 from repro.sim.deadline import check_deadline
 from repro.sim.health import AdmissionController
 from repro.sim.machine import Machine
+from repro.sim.metrics import (
+    SPAN_COMPACTION_PLAN,
+    SPAN_COMPACTION_ROUND,
+    SPAN_TS_APPEND_TXN,
+    SPAN_TS_DELETE,
+    SPAN_TS_READ,
+    SPAN_TS_WRITE,
+    SPAN_TS_WRITE_BATCH,
+)
 from repro.wal.compaction import (
     CompactionJob,
     CompactionResult,
@@ -88,6 +98,14 @@ class TabletServer:
         )
         self.serving = True
         self._checkpoint_hook = None  # wired by CheckpointManager
+
+    def _maint_span(self, name: str, **attrs):
+        """A span for server-driven maintenance (compaction): may start a
+        trace of its own on a traced cluster; inside a traced client op it
+        nests, and on an untraced cluster it is a no-op."""
+        if self.config.tracing:
+            return root_span(name, self.machine, server=self.name, **attrs)
+        return span(name, self.machine, server=self.name, **attrs)
 
     # -- lifecycle ------------------------------------------------------------------
 
@@ -211,26 +229,27 @@ class TabletServer:
         returned offsets.  Returns the version timestamp.
         """
         self._require_serving()
-        tablet = self._route(table, key)
-        if timestamp is None:
-            timestamp = self.tso.next_timestamp()
-        records = [
-            LogRecord(
-                record_type=RecordType.WRITE,
-                txn_id=txn_id,
-                table=table,
-                tablet=str(tablet.tablet_id),
-                key=key,
-                group=group,
-                timestamp=timestamp,
-                value=value,
-            )
-            for group, value in group_values.items()
-        ]
-        appended = self.log.append_batch(records)
-        for pointer, record in appended:
-            self._apply_write(tablet, record, pointer)
-        return timestamp
+        with span(SPAN_TS_WRITE, self.machine, table=table):
+            tablet = self._route(table, key)
+            if timestamp is None:
+                timestamp = self.tso.next_timestamp()
+            records = [
+                LogRecord(
+                    record_type=RecordType.WRITE,
+                    txn_id=txn_id,
+                    table=table,
+                    tablet=str(tablet.tablet_id),
+                    key=key,
+                    group=group,
+                    timestamp=timestamp,
+                    value=value,
+                )
+                for group, value in group_values.items()
+            ]
+            appended = self.log.append_batch(records)
+            for pointer, record in appended:
+                self._apply_write(tablet, record, pointer)
+            return timestamp
 
     def write_batch(
         self,
@@ -247,30 +266,32 @@ class TabletServer:
         order.
         """
         self._require_serving()
-        records: list[LogRecord] = []
-        tablets: list[Tablet] = []  # routed once; reused in the apply loop
-        timestamps: list[int] = []
-        for key, group_values in items:
-            tablet = self._route(table, key)
-            timestamp = self.tso.next_timestamp()
-            timestamps.append(timestamp)
-            for group, value in group_values.items():
-                tablets.append(tablet)
-                records.append(
-                    LogRecord(
-                        record_type=RecordType.WRITE,
-                        txn_id=txn_id,
-                        table=table,
-                        tablet=str(tablet.tablet_id),
-                        key=key,
-                        group=group,
-                        timestamp=timestamp,
-                        value=value,
+        with span(SPAN_TS_WRITE_BATCH, self.machine, table=table, items=len(items)):
+            records: list[LogRecord] = []
+            tablets: list[Tablet] = []  # routed once; reused in the apply loop
+            timestamps: list[int] = []
+            for key, group_values in items:
+                tablet = self._route(table, key)
+                timestamp = self.tso.next_timestamp()
+                timestamps.append(timestamp)
+                for group, value in group_values.items():
+                    tablets.append(tablet)
+                    records.append(
+                        LogRecord(
+                            record_type=RecordType.WRITE,
+                            txn_id=txn_id,
+                            table=table,
+                            tablet=str(tablet.tablet_id),
+                            key=key,
+                            group=group,
+                            timestamp=timestamp,
+                            value=value,
+                        )
                     )
-                )
-        for (pointer, record), tablet in zip(self.log.append_batch(records), tablets):
-            self._apply_write(tablet, record, pointer)
-        return timestamps
+            appended = self.log.append_batch(records)
+            for (pointer, record), tablet in zip(appended, tablets):
+                self._apply_write(tablet, record, pointer)
+            return timestamps
 
     def group_committer(self):
         """A :class:`~repro.txn.batch.GroupCommitter` over this server's
@@ -291,7 +312,8 @@ class TabletServer:
         keeping the append separate from index application is what makes
         the commit record the visibility gate (Guarantee 3)."""
         self._require_serving()
-        return self.log.append_batch(records)
+        with span(SPAN_TS_APPEND_TXN, self.machine, records=len(records)):
+            return self.log.append_batch(records)
 
     def apply_committed(self, appended: list[tuple[LogPointer, LogRecord]]) -> None:
         """Reflect a committed transaction's writes and deletes into the
@@ -350,28 +372,31 @@ class TabletServer:
         """
         self._require_serving()
         check_deadline("tablet read")
-        tablet = self._route(table, key)  # reject keys this server no longer owns
-        if self.read_cache is not None:
-            cached = self.read_cache.get(table, group, key)
-            if cached is not None:
-                # The cache always holds the newest version (every write
-                # refreshes it), so it also answers a snapshot read whose
-                # timestamp is at or past that version: no newer version
-                # can be visible to the snapshot.
-                if as_of is None or cached[0] <= as_of:
-                    return cached
-        index = self._ensure_index(tablet.tablet_id, group)
-        entry = (
-            index.lookup_latest(key) if as_of is None else index.lookup_asof(key, as_of)
-        )
-        if entry is None:
-            return None
-        record = self.log.read(entry.pointer)
-        if record.value is None:
-            return None
-        if as_of is None and self.read_cache is not None:
-            self.read_cache.put(table, group, key, entry.timestamp, record.value)
-        return entry.timestamp, record.value
+        with span(SPAN_TS_READ, self.machine, table=table, group=group):
+            tablet = self._route(table, key)  # reject keys this server no longer owns
+            if self.read_cache is not None:
+                cached = self.read_cache.get(table, group, key)
+                if cached is not None:
+                    # The cache always holds the newest version (every write
+                    # refreshes it), so it also answers a snapshot read whose
+                    # timestamp is at or past that version: no newer version
+                    # can be visible to the snapshot.
+                    if as_of is None or cached[0] <= as_of:
+                        return cached
+            index = self._ensure_index(tablet.tablet_id, group)
+            entry = (
+                index.lookup_latest(key)
+                if as_of is None
+                else index.lookup_asof(key, as_of)
+            )
+            if entry is None:
+                return None
+            record = self.log.read(entry.pointer)
+            if record.value is None:
+                return None
+            if as_of is None and self.read_cache is not None:
+                self.read_cache.put(table, group, key, entry.timestamp, record.value)
+            return entry.timestamp, record.value
 
     def read_version_timestamp(self, table: str, key: bytes, group: str) -> int | None:
         """Current version timestamp only (MVOCC validation, §3.7.1)."""
@@ -389,25 +414,26 @@ class TabletServer:
         checkpoint still contains the removed entries.
         """
         self._require_serving()
-        tablet = self._route(table, key)
-        timestamp = self.tso.next_timestamp()
-        index = self._ensure_index(tablet.tablet_id, group)
-        removed = index.delete_key(key)
-        self.secondary.on_delete(table, group, key)
-        marker = LogRecord(
-            record_type=RecordType.INVALIDATE,
-            txn_id=txn_id,
-            table=table,
-            tablet=str(tablet.tablet_id),
-            key=key,
-            group=group,
-            timestamp=timestamp,
-            value=None,
-        )
-        self.log.append(marker)
-        if self.read_cache is not None:
-            self.read_cache.invalidate(table, group, key)
-        return removed
+        with span(SPAN_TS_DELETE, self.machine, table=table, group=group):
+            tablet = self._route(table, key)
+            timestamp = self.tso.next_timestamp()
+            index = self._ensure_index(tablet.tablet_id, group)
+            removed = index.delete_key(key)
+            self.secondary.on_delete(table, group, key)
+            marker = LogRecord(
+                record_type=RecordType.INVALIDATE,
+                txn_id=txn_id,
+                table=table,
+                tablet=str(tablet.tablet_id),
+                key=key,
+                group=group,
+                timestamp=timestamp,
+                value=None,
+            )
+            self.log.append(marker)
+            if self.read_cache is not None:
+                self.read_cache.invalidate(table, group, key)
+            return removed
 
     # -- scans (§3.6.4) ---------------------------------------------------------------------
 
@@ -509,8 +535,14 @@ class TabletServer:
                 version always survives).
         """
         self._require_serving()
-        if self.config.incremental_compaction:
-            return self._compact_incremental(retain_after=retain_after)
+        with self._maint_span(SPAN_COMPACTION_ROUND):
+            if self.config.incremental_compaction:
+                return self._compact_incremental(retain_after=retain_after)
+            return self._compact_full(retain_after=retain_after)
+
+    def _compact_full(self, *, retain_after: int | None) -> CompactionResult:
+        """The seed one-shot compaction: rewrite the whole log, rebuild
+        every index (split out of :meth:`compact` for the span wrapper)."""
         inputs = self.log.segments()
         self.log.roll()
 
@@ -588,18 +620,19 @@ class TabletServer:
         owned = self._owned_filter()
         combined = CompactionResult()
         for plan in plans:
-            job = IncrementalCompactionJob(
-                self.log,
-                plan,
-                self.config.max_versions,
-                owned=owned,
-                retain_after=retain_after,
-            )
-            result = job.run()
-            self._patch_indexes(result)
-            if self._checkpoint_hook is not None:
-                self._checkpoint_hook(self)
-            combined.merge(result)
+            with span(SPAN_COMPACTION_PLAN, self.machine, kind=plan.kind):
+                job = IncrementalCompactionJob(
+                    self.log,
+                    plan,
+                    self.config.max_versions,
+                    owned=owned,
+                    retain_after=retain_after,
+                )
+                result = job.run()
+                self._patch_indexes(result)
+                if self._checkpoint_hook is not None:
+                    self._checkpoint_hook(self)
+                combined.merge(result)
         return combined
 
     def _patch_indexes(self, result: CompactionResult) -> None:

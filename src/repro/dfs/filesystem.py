@@ -30,6 +30,7 @@ from repro.errors import (
     FileNotFoundInDFS,
     ReplicaCorruptError,
 )
+from repro.obs.trace import span
 from repro.sim.deadline import current_deadline
 from repro.sim.failure import CP_DFS_APPEND, CP_DFS_REREPLICATE, crash_point
 from repro.sim.health import GrayPolicy, HealthMonitor
@@ -44,6 +45,10 @@ from repro.sim.metrics import (
     DFS_REREPLICATIONS,
     DFS_UNDER_REPLICATED,
     BREAKER_SKIPS,
+    SPAN_DFS_APPEND,
+    SPAN_DFS_HEDGE_LOSER,
+    SPAN_DFS_HEDGE_WINNER,
+    SPAN_DFS_READ,
 )
 from repro.sim.network import NetworkModel
 
@@ -405,16 +410,17 @@ class DFSWriter:
         """
         if self._closed:
             raise FileClosedError(self._path)
-        meta = self._dfs.namenode.get_file(self._path)
-        start_offset = meta.length
-        remaining = memoryview(data)
-        while len(remaining) > 0:
-            block = self._current_block(meta)
-            room = self._dfs.block_size - block.length
-            chunk = bytes(remaining[:room])
-            remaining = remaining[room:] if room < len(remaining) else remaining[len(remaining):]
-            self._dfs._append_to_block(block, chunk, self._writer)
-        return start_offset
+        with span(SPAN_DFS_APPEND, self._writer, bytes=len(data)):
+            meta = self._dfs.namenode.get_file(self._path)
+            start_offset = meta.length
+            remaining = memoryview(data)
+            while len(remaining) > 0:
+                block = self._current_block(meta)
+                room = self._dfs.block_size - block.length
+                chunk = bytes(remaining[:room])
+                remaining = remaining[room:] if room < len(remaining) else remaining[len(remaining):]
+                self._dfs._append_to_block(block, chunk, self._writer)
+            return start_offset
 
     def _current_block(self, meta: FileMeta) -> BlockInfo:
         if meta.blocks and meta.blocks[-1].length < self._dfs.block_size:
@@ -473,20 +479,24 @@ class DFSReader:
                 f"read past EOF of {self._meta.path}: "
                 f"offset={offset} length={length} file={self._meta.length}"
             )
-        out = bytearray()
-        remaining = length
-        pos = offset
-        for block in self._meta.blocks:
-            if remaining == 0:
-                break
-            if pos >= block.length:
-                pos -= block.length
-                continue
-            take = min(block.length - pos, remaining)
-            out.extend(self._read_from_block(block, pos, take))
-            remaining -= take
-            pos = 0
-        return bytes(out)
+        # Anchored on the READER: remote disk waits and transfers are
+        # mirror-charged to the reader's clock by _read_from_block, so
+        # the span's own duration already covers them.
+        with span(SPAN_DFS_READ, self._reader, bytes=length):
+            out = bytearray()
+            remaining = length
+            pos = offset
+            for block in self._meta.blocks:
+                if remaining == 0:
+                    break
+                if pos >= block.length:
+                    pos -= block.length
+                    continue
+                take = min(block.length - pos, remaining)
+                out.extend(self._read_from_block(block, pos, take))
+                remaining -= take
+                pos = 0
+            return bytes(out)
 
     def read_all(self) -> bytes:
         """Read the whole file sequentially."""
@@ -725,28 +735,34 @@ class DFSReader:
             winner_completion = hedge_est
             loser_busy = winner_completion
         reader.counters.add(DFS_HEDGE_FIRED)
-        try:
-            payload, cost = winner.read_replica(block.block_id, offset, length)
-        except (DataNodeDownError, BlockCorruptionError) as exc:
-            self._drop_bad_replica(
-                block, winner, corrupt=isinstance(exc, BlockCorruptionError)
-            )
-            return None
-        if winner is hedge:
-            reader.counters.add(DFS_HEDGE_WINS)
-            # The reader sat out the hedging delay before the backup
-            # request even fired; the backup's own cost is charged by the
-            # caller exactly like any served read.
-            reader.clock.advance(delay)
-        else:
-            reader.counters.add(DFS_HEDGE_LOSSES)
+        with span(SPAN_DFS_HEDGE_WINNER, reader, node=winner.name):
+            try:
+                payload, cost = winner.read_replica(block.block_id, offset, length)
+            except (DataNodeDownError, BlockCorruptionError) as exc:
+                self._drop_bad_replica(
+                    block, winner, corrupt=isinstance(exc, BlockCorruptionError)
+                )
+                return None
+            if winner is hedge:
+                reader.counters.add(DFS_HEDGE_WINS)
+                # The reader sat out the hedging delay before the backup
+                # request even fired; the backup's own cost is charged by the
+                # caller exactly like any served read.
+                reader.clock.advance(delay)
+            else:
+                reader.counters.add(DFS_HEDGE_LOSSES)
         # Cancel the loser: its machine was busy only until the winner
         # completed.  When the loser shares the reader's machine the busy
         # time overlaps the reader's own wait on the same clock, so only
-        # the displaced disk head is modelled, not a double charge.
-        if loser.machine is not reader:
-            loser.machine.clock.advance(min(loser.read_cost(length), loser_busy))
-        loser.machine.disk.invalidate_head()
+        # the displaced disk head is modelled, not a double charge.  The
+        # loser span is ``background``: parallel work that never extends
+        # the operation's latency, but closed all the same so chaos runs
+        # leave no orphan spans.
+        with span(SPAN_DFS_HEDGE_LOSER, loser.machine, background=True,
+                  node=loser.name):
+            if loser.machine is not reader:
+                loser.machine.clock.advance(min(loser.read_cost(length), loser_busy))
+            loser.machine.disk.invalidate_head()
         self._observe_health(loser, self._serve_estimate(loser, length))
         winner_latency = cost
         if winner.machine is not reader:

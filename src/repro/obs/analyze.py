@@ -1,0 +1,251 @@
+"""Trace analysis: ring buffer, slow-op sampling, critical paths.
+
+All analysis runs over closed root spans kept in the :class:`TraceLog`
+ring buffer — the tracer never stores per-operation sample lists, so the
+memory cost of a traced run is bounded by ``ring`` root spans plus the
+worst ``slow_samples`` traces per operation type.
+
+The *critical path* of a trace is the chain of spans that determined its
+latency: starting at the root, repeatedly descend into the child that
+contributed the most end-to-end time (cross-clock children only — same-
+clock children overlap the parent's own duration and are already counted).
+The *layer breakdown* maps every span's exclusive (self) seconds onto a
+small fixed set of layers — client, rpc, server, txn, wal, dfs,
+compaction, recovery — which is the "where did the time go" axis the
+paper's §6 I/O-shape arguments use.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Iterable, Iterator
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.trace import Span, Tracer
+
+#: span-name prefix -> report layer.  Longest prefix wins; names with no
+#: match fall into "other" (which the coverage tests keep at ~0).
+LAYER_PREFIXES: tuple[tuple[str, str], ...] = (
+    ("op.", "client"),
+    ("client.", "client"),
+    ("rpc.", "rpc"),
+    ("ts.", "server"),
+    ("txn.", "txn"),
+    ("log.", "wal"),
+    ("dfs.", "dfs"),
+    ("compaction.", "compaction"),
+    ("recovery.", "recovery"),
+)
+
+
+def span_layer(name: str) -> str:
+    """The report layer a span name belongs to."""
+    for prefix, layer in LAYER_PREFIXES:
+        if name.startswith(prefix):
+            return layer
+    return "other"
+
+
+class TraceLog:
+    """Ring buffer of the most recent closed root spans."""
+
+    def __init__(self, ring: int = 512) -> None:
+        if ring < 1:
+            raise ValueError("trace ring must hold at least one trace")
+        self._ring: deque["Span"] = deque(maxlen=ring)
+        self.appended = 0
+
+    def append(self, root: "Span") -> None:
+        """Record a closed root span (oldest trace evicted when full)."""
+        self._ring.append(root)
+        self.appended += 1
+
+    def traces(self, name: str | None = None) -> list["Span"]:
+        """Retained traces, oldest first, optionally filtered by root name."""
+        if name is None:
+            return list(self._ring)
+        return [root for root in self._ring if root.name == name]
+
+    def op_names(self) -> list[str]:
+        """Distinct root-span names currently retained, sorted."""
+        return sorted({root.name for root in self._ring})
+
+    def __iter__(self) -> Iterator["Span"]:
+        return iter(self._ring)
+
+    def __len__(self) -> int:
+        return len(self._ring)
+
+
+class SlowOpSampler:
+    """Keeps the N slowest traces per operation type.
+
+    A bounded insertion-sorted list per op name: ``offer`` is O(N) with
+    N = ``per_op`` (small), which beats a heap for the read-mostly access
+    pattern of reports.
+    """
+
+    def __init__(self, per_op: int = 4) -> None:
+        self.per_op = per_op
+        self._worst: dict[str, list[tuple[float, "Span"]]] = {}
+
+    def offer(self, name: str, latency: float, root: "Span") -> None:
+        """Consider one closed trace for the per-op worst list."""
+        if self.per_op <= 0:
+            return
+        worst = self._worst.setdefault(name, [])
+        if len(worst) >= self.per_op and latency <= worst[-1][0]:
+            return
+        worst.append((latency, root))
+        worst.sort(key=lambda item: -item[0])
+        del worst[self.per_op :]
+
+    def worst(self, name: str) -> list["Span"]:
+        """The slowest retained traces for ``name``, slowest first."""
+        return [root for _, root in self._worst.get(name, [])]
+
+    def op_names(self) -> list[str]:
+        """Op names with at least one retained trace, sorted."""
+        return sorted(self._worst)
+
+
+def coverage(root: "Span") -> float:
+    """Fraction of a trace's end-to-end latency explained by span self time.
+
+    Sums exclusive seconds over every non-background span in the tree and
+    divides by the root's end-to-end latency.  1.0 means every charged
+    simulated second while the operation ran was inside some span; the
+    acceptance bar is >= 0.99 for every traced op.
+    """
+    total = root.end_to_end()
+    if total <= 0.0:
+        return 1.0
+    explained = sum(s.self_seconds for s in root.walk() if not s.background)
+    return explained / total
+
+
+def critical_path(root: "Span") -> list["Span"]:
+    """The chain of spans that determined this trace's latency.
+
+    Descends from the root into the cross-clock child with the largest
+    end-to-end contribution at each level.  Same-clock children overlap
+    the parent's own duration, so the path only crosses clock boundaries —
+    each hop is a real RPC the anchor clock waited out.
+    """
+    path = [root]
+    node = root
+    while True:
+        candidates = [
+            child
+            for child in node.children
+            if not child.background and child._clock is not node._clock
+        ]
+        if not candidates:
+            return path
+        node = max(candidates, key=lambda child: child.end_to_end())
+        path.append(node)
+
+
+def layer_breakdown(roots: Iterable["Span"]) -> dict[str, float]:
+    """Exclusive simulated seconds per layer across the given traces.
+
+    Background spans (hedge losers) are reported under their own
+    ``background.<layer>`` key so parallel work is visible without
+    inflating the foreground total.
+    """
+    seconds: dict[str, float] = {}
+    for root in roots:
+        for node in root.walk():
+            layer = span_layer(node.name)
+            if node.background:
+                layer = "background." + layer
+            seconds[layer] = seconds.get(layer, 0.0) + node.self_seconds
+    return seconds
+
+
+def where_did_time_go(roots: Iterable["Span"]) -> dict:
+    """Aggregate report over a set of traces.
+
+    Returns totals, the per-layer breakdown with foreground percentages
+    (these sum to ~100% of the summed end-to-end latency when coverage is
+    complete), and mean coverage — the shape BENCH_obs.json stores.
+    """
+    roots = list(roots)
+    total_latency = sum(root.end_to_end() for root in roots)
+    layers = layer_breakdown(roots)
+    foreground = {k: v for k, v in layers.items() if not k.startswith("background.")}
+    percents = {
+        layer: (100.0 * secs / total_latency if total_latency else 0.0)
+        for layer, secs in foreground.items()
+    }
+    return {
+        "traces": len(roots),
+        "total_seconds": total_latency,
+        "layer_seconds": layers,
+        "layer_percent": percents,
+        "percent_sum": sum(percents.values()),
+        "coverage": (
+            sum(coverage(root) for root in roots) / len(roots) if roots else 1.0
+        ),
+    }
+
+
+def format_time_report(tracer: "Tracer") -> str:
+    """The text "where did the time go" report for a tracer's trace log."""
+    from repro.bench.report import format_table
+
+    roots = tracer.trace_log.traces()
+    lines: list[str] = []
+    if not roots:
+        return "trace log empty: no closed traces"
+
+    report = where_did_time_go(roots)
+    rows = [
+        (layer, f"{secs:.6f}", f"{report['layer_percent'].get(layer, 0.0):.1f}%")
+        for layer, secs in sorted(
+            report["layer_seconds"].items(), key=lambda item: -item[1]
+        )
+    ]
+    lines.append(
+        format_table(
+            f"where did the time go ({report['traces']} traces, "
+            f"{report['total_seconds']:.3f}s, "
+            f"coverage {100.0 * report['coverage']:.1f}%)",
+            ("layer", "seconds", "% of latency"),
+            rows,
+        )
+    )
+
+    hist_rows = []
+    for hist in sorted(tracer.histograms, key=lambda h: h.name):
+        snap = hist.snapshot()
+        hist_rows.append(
+            (
+                snap["name"],
+                str(snap["count"]),
+                f"{snap['p50']:.6f}",
+                f"{snap['p99']:.6f}",
+                f"{snap['max']:.6f}",
+            )
+        )
+    if hist_rows:
+        lines.append("")
+        lines.append(
+            format_table(
+                "latency histograms (simulated seconds)",
+                ("series", "n", "p50", "p99", "max"),
+                hist_rows,
+            )
+        )
+
+    slow_lines = []
+    for name in tracer.slow_ops.op_names():
+        for root in tracer.slow_ops.worst(name):
+            path = " > ".join(node.name for node in critical_path(root))
+            slow_lines.append(f"  {name}: {root.end_to_end():.6f}s via {path}")
+    if slow_lines:
+        lines.append("")
+        lines.append("slowest traces (critical path):")
+        lines.extend(slow_lines)
+
+    return "\n".join(lines)

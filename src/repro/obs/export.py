@@ -1,0 +1,60 @@
+"""Chrome ``trace_event`` JSON export for real inspection.
+
+The output loads in ``chrome://tracing`` / Perfetto: one complete event
+(``ph: "X"``) per span, processes (``pid``) keyed by machine name so each
+machine gets its own track, threads (``tid``) keyed by trace id so the
+spans of one operation line up on one row.  Simulated seconds become
+microseconds, the unit the trace viewer expects.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import TYPE_CHECKING, Iterable
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.trace import Span, Tracer
+
+
+def _span_events(root: "Span") -> Iterable[dict]:
+    for node in root.walk():
+        end = node.end if node.end is not None else node.start
+        args: dict = {
+            "span_id": node.span_id,
+            "self_us": round(node.self_seconds * 1e6, 3),
+        }
+        if node.background:
+            args["background"] = True
+        if node.attrs:
+            args.update(node.attrs)
+        yield {
+            "name": node.name,
+            "ph": "X",
+            "ts": round(node.start * 1e6, 3),
+            "dur": round((end - node.start) * 1e6, 3),
+            "pid": node.machine,
+            "tid": f"trace-{node.trace_id}",
+            "cat": "sim",
+            "args": args,
+        }
+
+
+def chrome_trace(traces: Iterable["Span"]) -> dict:
+    """The ``trace_event`` document for the given root spans."""
+    events: list[dict] = []
+    for root in traces:
+        events.extend(_span_events(root))
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {"source": "repro.obs", "time_base": "simulated seconds"},
+    }
+
+
+def export_chrome_trace(tracer: "Tracer", path: str) -> int:
+    """Write the tracer's retained traces to ``path``; returns event count."""
+    document = chrome_trace(tracer.trace_log.traces())
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(document, fh, indent=1)
+        fh.write("\n")
+    return len(document["traceEvents"])

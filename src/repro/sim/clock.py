@@ -9,6 +9,20 @@ parallel.
 
 from __future__ import annotations
 
+from typing import Callable
+
+# Optional process-wide hook called as ``observer(clock, seconds)`` after
+# every positive advance.  The tracer (repro.obs.trace) uses it to credit
+# charged time to the innermost open span; with no observer installed the
+# cost is one ``is None`` check per advance.
+_OBSERVER: "Callable[[SimClock, float], None] | None" = None
+
+
+def set_clock_observer(observer: "Callable[[SimClock, float], None] | None") -> None:
+    """Install (or clear, with None) the process-wide advance observer."""
+    global _OBSERVER
+    _OBSERVER = observer
+
 
 class SimClock:
     """Monotonically advancing simulated time, in seconds."""
@@ -26,11 +40,16 @@ class SimClock:
         if seconds < 0:
             raise ValueError(f"cannot advance clock by negative time {seconds}")
         self._now += seconds
+        if _OBSERVER is not None and seconds:
+            _OBSERVER(self, seconds)
 
     def advance_to(self, deadline: float) -> None:
         """Move time forward to ``deadline`` if it is in the future."""
         if deadline > self._now:
+            delta = deadline - self._now
             self._now = deadline
+            if _OBSERVER is not None:
+                _OBSERVER(self, delta)
 
     def reset(self, start: float = 0.0) -> None:
         """Rewind the clock (used between benchmark phases)."""

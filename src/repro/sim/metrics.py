@@ -1,48 +1,159 @@
-"""Lightweight named counters attached to simulated devices and servers."""
+"""Lightweight named counters attached to simulated devices and servers,
+plus the frozen registry of canonical metric names.
+
+Every PR so far added a block of counter-name constants here; keeping the
+spellings in one *frozen* registry (instead of four drifting blocks) lets
+any component that mints a metric name — counters, histograms, span-latency
+series — check it against the canonical set with
+:func:`validate_metric_name`.  Device-level names (``disk.*``, ``net.*``,
+``cache.*``, ``txn.*``) and per-span latency series are registered as
+prefixes: their suffixes are data-dependent, but the namespace is fixed.
+"""
 
 from __future__ import annotations
 
 from collections import defaultdict
 from typing import Iterator
 
-# Canonical counter names for the log read pipeline.  Every component that
-# records these imports the constants so dashboards (core.stats) and
-# benchmarks agree on spelling.
-BLOCK_CACHE_HITS = "blockcache.hits"
-BLOCK_CACHE_MISSES = "blockcache.misses"
-BLOCK_CACHE_EVICTIONS = "blockcache.evictions"
-BLOCK_CACHE_FILL_BYTES = "blockcache.fill_bytes"
-READ_MANY_CALLS = "log.read_many.calls"
-READ_MANY_RECORDS = "log.read_many.records"
-READ_MANY_SPANS = "log.read_many.spans"
-SCAN_PREFETCH_WINDOWS = "log.scan.prefetch_windows"
+
+class MetricNameRegistry:
+    """The canonical metric-name set: exact names plus allowed prefixes.
+
+    Mutable only until :meth:`freeze` is called at the end of this module;
+    registering afterwards raises, which is the point — a new metric name
+    must be added here, next to every other name, or it does not validate.
+    """
+
+    def __init__(self) -> None:
+        self._names: set[str] = set()
+        self._prefixes: set[str] = set()
+        self._frozen = False
+
+    def register(self, name: str) -> str:
+        """Add an exact canonical name; returns it for constant binding."""
+        if self._frozen:
+            raise RuntimeError("metric-name registry is frozen")
+        self._names.add(name)
+        return name
+
+    def register_prefix(self, prefix: str) -> str:
+        """Add a namespace whose suffixes are data-dependent."""
+        if self._frozen:
+            raise RuntimeError("metric-name registry is frozen")
+        self._prefixes.add(prefix)
+        return prefix
+
+    def freeze(self) -> None:
+        """Seal the registry against further registration."""
+        self._frozen = True
+
+    @property
+    def frozen(self) -> bool:
+        return self._frozen
+
+    def known(self, name: str) -> bool:
+        """Whether ``name`` is canonical (exact or under a prefix)."""
+        if name in self._names:
+            return True
+        return any(name.startswith(prefix) for prefix in self._prefixes)
+
+    def validate(self, name: str) -> str:
+        """Return ``name`` if canonical, else raise ``ValueError``."""
+        if not self.known(name):
+            raise ValueError(
+                f"unknown metric name {name!r}: register it in "
+                f"repro.sim.metrics before use"
+            )
+        return name
+
+    def names(self) -> frozenset[str]:
+        """The exact names (prefixes excluded)."""
+        return frozenset(self._names)
+
+
+REGISTRY = MetricNameRegistry()
+
+# Device/process namespaces whose members are minted by the simulators
+# (e.g. ``disk.seeks``, ``net.bytes_sent``, ``cache.hits``, ``txn.aborts``).
+DISK_PREFIX = REGISTRY.register_prefix("disk.")
+NET_PREFIX = REGISTRY.register_prefix("net.")
+CACHE_PREFIX = REGISTRY.register_prefix("cache.")
+TXN_PREFIX = REGISTRY.register_prefix("txn.")
+
+# Canonical counter names for the log read pipeline (PR 1).
+BLOCK_CACHE_HITS = REGISTRY.register("blockcache.hits")
+BLOCK_CACHE_MISSES = REGISTRY.register("blockcache.misses")
+BLOCK_CACHE_EVICTIONS = REGISTRY.register("blockcache.evictions")
+BLOCK_CACHE_FILL_BYTES = REGISTRY.register("blockcache.fill_bytes")
+READ_MANY_CALLS = REGISTRY.register("log.read_many.calls")
+READ_MANY_RECORDS = REGISTRY.register("log.read_many.records")
+READ_MANY_SPANS = REGISTRY.register("log.read_many.spans")
+SCAN_PREFETCH_WINDOWS = REGISTRY.register("log.scan.prefetch_windows")
 
 # Canonical counter names for the fault-tolerance layer (PR 2).
-DFS_UNDER_REPLICATED = "dfs.under_replicated"
-DFS_REREPLICATIONS = "dfs.rereplications"
-DFS_READ_FAILOVERS = "dfs.read_failovers"
-DFS_CORRUPT_REPLICAS = "dfs.corrupt_replicas"
-CLIENT_RETRIES = "client.retries"
-CHAOS_FAULTS_FIRED = "chaos.faults_fired"
+DFS_UNDER_REPLICATED = REGISTRY.register("dfs.under_replicated")
+DFS_REREPLICATIONS = REGISTRY.register("dfs.rereplications")
+DFS_READ_FAILOVERS = REGISTRY.register("dfs.read_failovers")
+DFS_CORRUPT_REPLICAS = REGISTRY.register("dfs.corrupt_replicas")
+CLIENT_RETRIES = REGISTRY.register("client.retries")
+CHAOS_FAULTS_FIRED = REGISTRY.register("chaos.faults_fired")
 
 # Canonical counter names for the gray-failure resilience layer (PR 3).
-DFS_HEDGE_FIRED = "dfs.hedge.fired"
-DFS_HEDGE_WINS = "dfs.hedge.wins"
-DFS_HEDGE_LOSSES = "dfs.hedge.losses"
-BREAKER_TRIPS = "breaker.trips"
-BREAKER_SKIPS = "breaker.skips"
-DEADLINES_EXCEEDED = "deadline.exceeded"
-ADMISSION_SHED = "admission.shed"
-CLIENT_BREAKER_WAITS = "client.breaker.waits"
+DFS_HEDGE_FIRED = REGISTRY.register("dfs.hedge.fired")
+DFS_HEDGE_WINS = REGISTRY.register("dfs.hedge.wins")
+DFS_HEDGE_LOSSES = REGISTRY.register("dfs.hedge.losses")
+BREAKER_TRIPS = REGISTRY.register("breaker.trips")
+BREAKER_SKIPS = REGISTRY.register("breaker.skips")
+DEADLINES_EXCEEDED = REGISTRY.register("deadline.exceeded")
+ADMISSION_SHED = REGISTRY.register("admission.shed")
+CLIENT_BREAKER_WAITS = REGISTRY.register("client.breaker.waits")
 
 # Canonical counter names for the compaction subsystem (PR 4).  Rewrite
 # amplification is derived by reports as
 # ``compaction.bytes_written / log.ingest_bytes``.
-COMPACTION_BYTES_READ = "compaction.bytes_read"
-COMPACTION_BYTES_WRITTEN = "compaction.bytes_written"
-COMPACTION_PLANS = "compaction.plans"
-COMPACTION_TOMBSTONES_CARRIED = "compaction.tombstones_carried"
-LOG_INGEST_BYTES = "log.ingest_bytes"
+COMPACTION_BYTES_READ = REGISTRY.register("compaction.bytes_read")
+COMPACTION_BYTES_WRITTEN = REGISTRY.register("compaction.bytes_written")
+COMPACTION_PLANS = REGISTRY.register("compaction.plans")
+COMPACTION_TOMBSTONES_CARRIED = REGISTRY.register("compaction.tombstones_carried")
+LOG_INGEST_BYTES = REGISTRY.register("log.ingest_bytes")
+
+# Canonical span names for the observability subsystem (PR 5).  The
+# tracer anchors each span to one machine's clock; see repro.obs.trace.
+SPAN_OP_PREFIX = REGISTRY.register_prefix("op.")  # client root ops: op.put, ...
+SPAN_RPC_SERVER = REGISTRY.register("rpc.server")
+SPAN_CLIENT_BREAKER_WAIT = REGISTRY.register("client.breaker_wait")
+SPAN_CLIENT_RETRY = REGISTRY.register("client.retry")
+SPAN_TS_WRITE = REGISTRY.register("ts.write")
+SPAN_TS_WRITE_BATCH = REGISTRY.register("ts.write_batch")
+SPAN_TS_READ = REGISTRY.register("ts.read")
+SPAN_TS_DELETE = REGISTRY.register("ts.delete")
+SPAN_TS_APPEND_TXN = REGISTRY.register("ts.append_txn")
+SPAN_TXN_COMMIT = REGISTRY.register("txn.commit")
+SPAN_LOG_APPEND = REGISTRY.register("log.append")
+SPAN_LOG_READ = REGISTRY.register("log.read")
+SPAN_LOG_READ_MANY = REGISTRY.register("log.read_many")
+SPAN_DFS_APPEND = REGISTRY.register("dfs.append")
+SPAN_DFS_READ = REGISTRY.register("dfs.read")
+SPAN_DFS_HEDGE_WINNER = REGISTRY.register("dfs.hedge.winner")
+SPAN_DFS_HEDGE_LOSER = REGISTRY.register("dfs.hedge.loser")
+SPAN_COMPACTION_ROUND = REGISTRY.register("compaction.round")
+SPAN_COMPACTION_PLAN = REGISTRY.register("compaction.plan")
+SPAN_RECOVERY_RECOVER = REGISTRY.register("recovery.recover")
+SPAN_RECOVERY_REDO = REGISTRY.register("recovery.redo")
+SPAN_RECOVERY_ADOPT = REGISTRY.register("recovery.adopt")
+
+# Canonical histogram names (PR 5).  The tracer records one latency
+# series per root-span name under the ``latency.`` namespace.
+HIST_SPAN_LATENCY_PREFIX = REGISTRY.register_prefix("latency.")
+HIST_CHAOS_READ_LATENCY = REGISTRY.register("latency.chaos.read")
+
+REGISTRY.freeze()
+
+
+def validate_metric_name(name: str) -> str:
+    """Module-level helper over the frozen registry (see
+    :meth:`MetricNameRegistry.validate`)."""
+    return REGISTRY.validate(name)
 
 
 class Counters:
@@ -63,6 +174,17 @@ class Counters:
     def get(self, name: str) -> float:
         """Current value of ``name`` (0 if never incremented)."""
         return self._values.get(name, 0.0)
+
+    def merge(self, other: "Counters | dict[str, float]") -> "Counters":
+        """Add every counter in ``other`` into this bag; returns self.
+
+        Cluster-wide aggregation sums one bag per machine — this replaces
+        the manual dict-summing loops call sites used to carry.
+        """
+        items = other._values.items() if isinstance(other, Counters) else other.items()
+        for name, value in items:
+            self._values[name] += value
+        return self
 
     def reset(self) -> None:
         """Zero every counter."""

@@ -27,7 +27,9 @@ from repro.coordination.tso import TimestampOracle
 from repro.coordination.znodes import CoordinationService, Session
 from repro.core.master import Master
 from repro.errors import LogBaseError, TransactionAborted, ValidationConflict
+from repro.obs.trace import root_span, span
 from repro.sim.failure import CP_TXN_POST_COMMIT, CP_TXN_PRE_COMMIT, crash_point
+from repro.sim.metrics import SPAN_TXN_COMMIT
 from repro.txn.transaction import Slot, Transaction, TxnStatus
 from repro.txn.twopc import TwoPhaseCoordinator
 from repro.wal.record import LogRecord, RecordType, commit_record
@@ -47,6 +49,8 @@ class TransactionManager:
             mode): validation additionally takes read locks and checks the
             whole read set, closing the write-skew anomaly at the cost the
             paper describes — read locks now conflict with writers.
+        tracing: open a (root-capable) span around each commit's write
+            phase; requires the cluster's tracer to record anything.
     """
 
     def __init__(
@@ -56,10 +60,12 @@ class TransactionManager:
         coordination: CoordinationService,
         *,
         serializable: bool = False,
+        tracing: bool = False,
     ) -> None:
         self._master = master
         self._tso = tso
         self._coordination = coordination
+        self.tracing = tracing
         self._locks = DistributedLockManager(coordination)
         self._txn_ids = itertools.count(1)
         self._sessions: dict[int, Session] = {}
@@ -256,21 +262,37 @@ class TransactionManager:
             )
             by_server.setdefault(server_name, []).append(record)
 
-        if len(by_server) == 1:
-            # The common, entity-group-friendly case: no 2PC needed (§3.2).
-            (server_name, records), = by_server.items()
-            server = self._master.server(server_name)
-            crash_point(CP_TXN_PRE_COMMIT, txn=txn.txn_id, server=server_name)
-            appended = server.append_transactional(
-                records + [commit_record(txn.txn_id, commit_ts)]
+        # Anchored on the first participant's machine (the manager itself
+        # runs on no machine); root-capable so a bare txn workload on a
+        # traced cluster still produces traces.
+        first_server = self._master.server(next(iter(by_server)))
+        scope = (
+            root_span(
+                SPAN_TXN_COMMIT, first_server.machine,
+                txn=txn.txn_id, participants=len(by_server),
             )
-            # The commit record is durable here; a crash before the apply
-            # below loses only in-memory state, and redo re-applies it.
-            crash_point(CP_TXN_POST_COMMIT, txn=txn.txn_id, server=server_name)
-            server.apply_committed(appended)
-        else:
-            coordinator = TwoPhaseCoordinator(self._master)
-            coordinator.execute(txn.txn_id, commit_ts, by_server)
+            if self.tracing
+            else span(
+                SPAN_TXN_COMMIT, first_server.machine,
+                txn=txn.txn_id, participants=len(by_server),
+            )
+        )
+        with scope:
+            if len(by_server) == 1:
+                # The common, entity-group-friendly case: no 2PC needed (§3.2).
+                (server_name, records), = by_server.items()
+                server = self._master.server(server_name)
+                crash_point(CP_TXN_PRE_COMMIT, txn=txn.txn_id, server=server_name)
+                appended = server.append_transactional(
+                    records + [commit_record(txn.txn_id, commit_ts)]
+                )
+                # The commit record is durable here; a crash before the apply
+                # below loses only in-memory state, and redo re-applies it.
+                crash_point(CP_TXN_POST_COMMIT, txn=txn.txn_id, server=server_name)
+                server.apply_committed(appended)
+            else:
+                coordinator = TwoPhaseCoordinator(self._master)
+                coordinator.execute(txn.txn_id, commit_ts, by_server)
 
     # -- metrics ---------------------------------------------------------------------------
 

@@ -20,6 +20,7 @@ from typing import Iterator
 
 from repro.dfs.filesystem import DFS
 from repro.errors import InvalidLogPointer
+from repro.obs.trace import span
 from repro.sim.deadline import check_deadline
 from repro.sim.failure import CP_LOG_APPEND, CP_META_PERSIST, crash_point
 from repro.sim.machine import Machine
@@ -28,6 +29,9 @@ from repro.sim.metrics import (
     READ_MANY_CALLS,
     READ_MANY_RECORDS,
     READ_MANY_SPANS,
+    SPAN_LOG_APPEND,
+    SPAN_LOG_READ,
+    SPAN_LOG_READ_MANY,
 )
 from repro.wal.record import LogPointer, LogRecord
 from repro.wal.segment import LogSegmentReader, LogSegmentWriter, open_segment_reader
@@ -182,8 +186,9 @@ class LogRepository:
         self._next_lsn += 1
         encoded = stamped.encode()
         self._machine.counters.add(LOG_INGEST_BYTES, len(encoded))
-        writer = self._roll_if_needed(len(encoded))
-        pointer = writer.append(encoded)
+        with span(SPAN_LOG_APPEND, self._machine, bytes=len(encoded)):
+            writer = self._roll_if_needed(len(encoded))
+            pointer = writer.append(encoded)
         self._refresh_reader(writer.file_no)
         return pointer, stamped
 
@@ -206,27 +211,29 @@ class LogRepository:
             self._next_lsn += 1
             stamped.append(rec)
             encoded.append(rec.encode())
-        self._machine.counters.add(LOG_INGEST_BYTES, sum(len(e) for e in encoded))
-        writer = self._roll_if_needed(sum(len(e) for e in encoded))
-        pointers: list[LogPointer] = []
-        start = 0
-        while start < len(encoded):
-            # Greedy chunk: everything that fits the segment's remaining
-            # capacity; a single record larger than a whole segment goes
-            # alone.
-            end = start + 1
-            size = len(encoded[start])
-            while (
-                end < len(encoded)
-                and writer.size + size + len(encoded[end]) <= self._segment_size
-            ):
-                size += len(encoded[end])
-                end += 1
-            pointers.extend(writer.append_many(encoded[start:end]))
-            self._refresh_reader(writer.file_no)
-            start = end
-            if start < len(encoded):
-                writer = self._roll_if_needed(len(encoded[start]))
+        total = sum(len(e) for e in encoded)
+        self._machine.counters.add(LOG_INGEST_BYTES, total)
+        with span(SPAN_LOG_APPEND, self._machine, bytes=total, records=len(records)):
+            writer = self._roll_if_needed(total)
+            pointers: list[LogPointer] = []
+            start = 0
+            while start < len(encoded):
+                # Greedy chunk: everything that fits the segment's remaining
+                # capacity; a single record larger than a whole segment goes
+                # alone.
+                end = start + 1
+                size = len(encoded[start])
+                while (
+                    end < len(encoded)
+                    and writer.size + size + len(encoded[end]) <= self._segment_size
+                ):
+                    size += len(encoded[end])
+                    end += 1
+                pointers.extend(writer.append_many(encoded[start:end]))
+                self._refresh_reader(writer.file_no)
+                start = end
+                if start < len(encoded):
+                    writer = self._roll_if_needed(len(encoded[start]))
         return list(zip(pointers, stamped))
 
     def _refresh_reader(self, file_no: int) -> None:
@@ -262,7 +269,8 @@ class LogRepository:
     def read(self, pointer: LogPointer) -> LogRecord:
         """Random read of one record (a single disk seek, §3.5)."""
         check_deadline("log read")
-        record = self._reader(pointer.file_no).read_at(pointer)
+        with span(SPAN_LOG_READ, self._machine, bytes=pointer.size):
+            record = self._reader(pointer.file_no).read_at(pointer)
         return self._fill_slim(pointer.file_no, record)
 
     def read_many(self, pointers: list[LogPointer]) -> list[LogRecord]:
@@ -287,30 +295,31 @@ class LogRepository:
         counters = self._machine.counters
         counters.add(READ_MANY_CALLS)
         counters.add(READ_MANY_RECORDS, len(pointers))
-        results: list[LogRecord | None] = [None] * len(pointers)
-        by_segment: dict[int, list[int]] = defaultdict(list)
-        for position, pointer in enumerate(pointers):
-            by_segment[pointer.file_no].append(position)
-        for file_no, positions in by_segment.items():
-            reader = self._reader(file_no)
-            positions.sort(key=lambda i: pointers[i].offset)
-            run: list[int] = []
-            run_start = run_end = 0
-            for position in positions:
-                pointer = pointers[position]
-                if run and pointer.offset <= run_end + self._coalesce_gap:
-                    run.append(position)
-                    run_end = max(run_end, pointer.offset + pointer.size)
-                else:
-                    if run:
-                        self._read_span(reader, file_no, run, run_start, run_end,
-                                        pointers, results)
-                    run = [position]
-                    run_start = pointer.offset
-                    run_end = pointer.offset + pointer.size
-            if run:
-                self._read_span(reader, file_no, run, run_start, run_end,
-                                pointers, results)
+        with span(SPAN_LOG_READ_MANY, self._machine, records=len(pointers)):
+            results: list[LogRecord | None] = [None] * len(pointers)
+            by_segment: dict[int, list[int]] = defaultdict(list)
+            for position, pointer in enumerate(pointers):
+                by_segment[pointer.file_no].append(position)
+            for file_no, positions in by_segment.items():
+                reader = self._reader(file_no)
+                positions.sort(key=lambda i: pointers[i].offset)
+                run: list[int] = []
+                run_start = run_end = 0
+                for position in positions:
+                    pointer = pointers[position]
+                    if run and pointer.offset <= run_end + self._coalesce_gap:
+                        run.append(position)
+                        run_end = max(run_end, pointer.offset + pointer.size)
+                    else:
+                        if run:
+                            self._read_span(reader, file_no, run, run_start, run_end,
+                                            pointers, results)
+                        run = [position]
+                        run_start = pointer.offset
+                        run_end = pointer.offset + pointer.size
+                if run:
+                    self._read_span(reader, file_no, run, run_start, run_end,
+                                    pointers, results)
         return results  # type: ignore[return-value]
 
     def _read_span(

@@ -1,0 +1,36 @@
+"""Control arm for the histogram-backed chaos percentiles: the report's
+p50/p99/max must be identical to the list-based nearest-rank computation
+the histogram replaced (``repro.chaos.runner._percentile``)."""
+
+import repro.chaos.runner as runner
+from repro.chaos.gray import run_gray
+from repro.chaos.runner import _percentile
+from repro.obs.hist import Histogram
+
+
+def test_control_arm_percentiles_match_list_computation(monkeypatch):
+    captured = []
+
+    class RecordingHistogram(Histogram):
+        """The real histogram, additionally keeping the raw samples so
+        the old list-based computation can run beside it."""
+
+        def __init__(self, *args, **kwargs):
+            super().__init__(*args, **kwargs)
+            self.samples = []
+            captured.append(self)
+
+        def record(self, value):
+            self.samples.append(value)
+            super().record(value)
+
+    monkeypatch.setattr(runner, "Histogram", RecordingHistogram)
+    report = run_gray("limp-datanode-mid-scan", seed=1, ops=60, resilience=False)
+    assert report.passed, report.violations
+
+    (hist,) = captured
+    samples = hist.samples
+    assert report.reads == len(samples) > 0
+    assert report.read_p50 == _percentile(samples, 0.50)
+    assert report.read_p99 == _percentile(samples, 0.99)
+    assert report.read_max == max(samples)

@@ -1,0 +1,13 @@
+"""Tracer hygiene: the tracer is process-global (like the clock observer
+it installs), so every obs test tears it down to keep later tests —
+including untraced seed benchmarks — unobserved."""
+
+import pytest
+
+from repro.obs.trace import uninstall_tracer
+
+
+@pytest.fixture(autouse=True)
+def _clean_tracer():
+    yield
+    uninstall_tracer()

@@ -1,0 +1,94 @@
+"""Unit tests for the geometric-bucket histogram and its registry."""
+
+import pytest
+
+from repro.obs.hist import Histogram, HistogramRegistry
+
+
+def test_empty_histogram_reports_zeros():
+    hist = Histogram("latency.op.get")
+    assert hist.count == 0
+    assert hist.mean == 0.0
+    assert hist.percentile(0.5) == 0.0
+    snap = hist.snapshot()
+    assert snap["count"] == 0
+    assert snap["min"] == 0.0
+    assert snap["max"] == 0.0
+
+
+def test_identical_samples_are_exact():
+    hist = Histogram("latency.op.get")
+    for _ in range(100):
+        hist.record(0.125)
+    assert hist.percentile(0.50) == 0.125
+    assert hist.percentile(0.99) == 0.125
+    assert hist.mean == pytest.approx(0.125)
+    assert hist.min == 0.125
+    assert hist.max == 0.125
+
+
+def test_nearest_rank_matches_list_for_spread_samples():
+    # Values spread over decades land in distinct buckets, so every
+    # percentile reproduces the list-based nearest-rank value exactly.
+    values = [10.0 ** (i / 3.0 - 4.0) for i in range(30)]
+    hist = Histogram("latency.op.get")
+    for value in values:
+        hist.record(value)
+    ordered = sorted(values)
+    for q in (0.0, 0.25, 0.5, 0.9, 0.99, 1.0):
+        rank = min(len(ordered) - 1, max(0, int(round(q * (len(ordered) - 1)))))
+        assert hist.percentile(q) == ordered[rank]
+
+
+def test_shared_bucket_resolves_ranks_exactly_below_the_cap():
+    # Coarse buckets force distinct values into one bucket; the exact
+    # per-bucket value counts still answer every rank precisely.
+    hist = Histogram("latency.op.get", growth=2.0)
+    for value in (1.0, 1.1, 1.2, 1.3, 1.4):
+        hist.record(value)
+    assert hist.percentile(0.0) == 1.0
+    assert hist.percentile(0.5) == 1.2
+    assert hist.percentile(1.0) == 1.4
+
+
+def test_collapsed_bucket_falls_back_to_the_summary():
+    # Past the cap a bucket drops its value map: edges stay exact, a
+    # mid-bucket rank approximates within the observed [min, max].
+    hist = Histogram("latency.op.get", growth=2.0, exact_cap=2)
+    for value in (1.0, 1.1, 1.2, 1.3, 1.4):
+        hist.record(value)
+    assert hist.percentile(0.0) == 1.0
+    assert hist.percentile(1.0) == 1.4
+    assert 1.0 <= hist.percentile(0.5) <= 1.4
+
+
+def test_negative_values_clamp_to_zero():
+    hist = Histogram("latency.op.get")
+    hist.record(-1.0)
+    assert hist.count == 1
+    assert hist.min == 0.0
+    assert hist.max == 0.0
+
+
+def test_invalid_parameters_rejected():
+    with pytest.raises(ValueError):
+        Histogram("latency.x", growth=1.0)
+    with pytest.raises(ValueError):
+        Histogram("latency.x", floor=0.0)
+
+
+def test_registry_creates_once_and_snapshots():
+    registry = HistogramRegistry()
+    hist = registry.histogram("latency.op.get")
+    assert registry.histogram("latency.op.get") is hist
+    assert registry.get("latency.op.get") is hist
+    assert registry.get("latency.op.scan") is None
+    assert len(registry) == 1
+    hist.record(0.5)
+    assert registry.snapshot()["latency.op.get"]["count"] == 1
+
+
+def test_registry_rejects_unknown_metric_names():
+    registry = HistogramRegistry()
+    with pytest.raises(ValueError):
+        registry.histogram("totally.unknown.series")

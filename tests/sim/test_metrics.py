@@ -1,6 +1,14 @@
-"""Unit tests for the counter bag."""
+"""Unit tests for the counter bag and the frozen metric-name registry."""
 
-from repro.sim.metrics import Counters
+import pytest
+
+from repro.sim.metrics import (
+    BLOCK_CACHE_HITS,
+    REGISTRY,
+    Counters,
+    MetricNameRegistry,
+    validate_metric_name,
+)
 
 
 def test_add_and_get():
@@ -41,3 +49,48 @@ def test_repr_contains_values():
     counters = Counters()
     counters.add("hits", 3)
     assert "hits=3" in repr(counters)
+
+
+def test_merge_sums_counters_and_dicts():
+    left = Counters()
+    left.add("x", 1)
+    left.add("y", 2)
+    right = Counters()
+    right.add("x", 3)
+    assert left.merge(right) is left
+    assert left.get("x") == 4
+    assert left.get("y") == 2
+    left.merge({"z": 5.0, "x": 1.0})
+    assert left.get("z") == 5
+    assert left.get("x") == 5
+    assert right.get("x") == 3  # the merged-from bag is untouched
+
+
+def test_registry_validates_exact_and_prefixed_names():
+    assert validate_metric_name(BLOCK_CACHE_HITS) == "blockcache.hits"
+    assert validate_metric_name("disk.seeks") == "disk.seeks"  # disk. prefix
+    assert validate_metric_name("latency.op.get") == "latency.op.get"
+    with pytest.raises(ValueError):
+        validate_metric_name("no.such.metric")
+
+
+def test_global_registry_is_frozen():
+    assert REGISTRY.frozen
+    assert REGISTRY.known("rpc.server")
+    with pytest.raises(RuntimeError):
+        REGISTRY.register("late.metric")
+    with pytest.raises(RuntimeError):
+        REGISTRY.register_prefix("late.")
+
+
+def test_fresh_registry_lifecycle():
+    registry = MetricNameRegistry()
+    registry.register("a.b")
+    registry.register_prefix("c.")
+    assert registry.known("a.b")
+    assert registry.known("c.anything")
+    assert not registry.known("a.bc")
+    assert registry.names() == frozenset({"a.b"})
+    assert registry.validate("c.suffix") == "c.suffix"
+    registry.freeze()
+    assert registry.frozen
