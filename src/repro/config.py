@@ -52,6 +52,21 @@ class LogBaseConfig:
             behaviour), a positive value streams the scan in windows of
             this many bytes.
         group_commit_batch: max records buffered per group-commit flush.
+        group_commit: run tablet-server writes through the commit
+            coordinator (:mod:`repro.wal.group_commit`): appends arriving
+            while a flush is in flight join an open group (leader/follower),
+            the whole group lands with one ``append_batch`` — one DFS
+            replication round trip — and every member is acked on group
+            durability.  Off by default so the seed figures are reproduced
+            byte-identically; :meth:`with_group_commit` enables it.
+        group_commit_max_delay: how long (simulated seconds) a group
+            leader waits for followers before sealing its group.
+        group_commit_max_bytes: byte budget per commit group (estimated
+            record sizes); None removes the cap and only
+            ``group_commit_batch`` bounds the group.
+        group_commit_pipeline: start replicating the next group while the
+            previous group's acks drain back up the pipeline; members are
+            still acked only at their own group's ack-drain time.
         dfs_checksum_replicas: datanodes keep an incremental CRC-32C per
             replica (needed for read-path corruption detection).
         dfs_verify_reads: checksum-verify a replica before serving a read
@@ -139,6 +154,10 @@ class LogBaseConfig:
     read_batch_size: int = 256
     scan_prefetch_bytes: int = 0
     group_commit_batch: int = 16
+    group_commit: bool = False
+    group_commit_max_delay: float = 0.002
+    group_commit_max_bytes: int | None = None
+    group_commit_pipeline: bool = True
     dfs_checksum_replicas: bool = False
     dfs_verify_reads: bool = False
     dfs_auto_rereplicate: bool = False
@@ -266,6 +285,24 @@ class LogBaseConfig:
         return cls(**settings)
 
     @classmethod
+    def with_group_commit(cls, **overrides) -> "LogBaseConfig":
+        """A config with group commit enabled: tablet-server writes are
+        submitted to a commit coordinator that coalesces concurrent
+        appends into one DFS replication round trip per group and acks
+        every member on group durability (BtrLog-style leader/follower
+        batching with pipelined replication).
+
+        The plain constructor keeps it off so the seed cost model and
+        figures are reproduced byte-identically; this preset is what the
+        fan-in benchmark (``bench_group_commit``) measures.
+        """
+        settings: dict = {
+            "group_commit": True,
+        }
+        settings.update(overrides)
+        return cls(**settings)
+
+    @classmethod
     def with_tracing(cls, **overrides) -> "LogBaseConfig":
         """A config with the observability subsystem enabled: the cluster
         installs a tracer, every charged simulated second is attributed to
@@ -320,6 +357,12 @@ class LogBaseConfig:
             raise ValueError("read_batch_size must be >= 1")
         if self.scan_prefetch_bytes < 0:
             raise ValueError("scan_prefetch_bytes must be >= 0")
+        if self.group_commit_batch < 1:
+            raise ValueError("group_commit_batch must be >= 1")
+        if self.group_commit_max_delay < 0:
+            raise ValueError("group_commit_max_delay must be >= 0")
+        if self.group_commit_max_bytes is not None and self.group_commit_max_bytes < 1:
+            raise ValueError("group_commit_max_bytes must be >= 1 or None")
         if self.dfs_verify_reads and not self.dfs_checksum_replicas:
             raise ValueError("dfs_verify_reads requires dfs_checksum_replicas")
         if self.client_retry_limit < 0:

@@ -423,6 +423,53 @@ class Client:
                 lambda server: lambda: server.write(table, key, {group: value}),
             )
 
+    def submit_put_raw(
+        self,
+        table: str,
+        key: bytes,
+        group: str,
+        value: bytes,
+        *,
+        arrival: float | None = None,
+    ):
+        """Asynchronous put through the server's group-commit coordinator.
+
+        Charges the request leg of the RPC to this client's clock, submits
+        to the serving tablet server, and returns ``(future, request_seconds,
+        ack_seconds)``: the write joins the server's open commit group and
+        the :class:`~repro.wal.group_commit.CommitFuture` resolves when
+        that group is durable.  Unlike :meth:`put_raw`, the client does
+        not stall for the replication round trip — end-to-end latency is
+        ``future.completion_time + ack_seconds - arrival``, which the
+        concurrent drivers account on the client's own virtual timeline.
+
+        ``arrival`` is the virtual time the op is issued (defaults to
+        this client's clock); the submission reaches the server one
+        request leg later.  Requires the server's ``group_commit`` gate.
+        """
+        server = self._server_for(table, key)
+        local = server.machine is self._machine
+        request_seconds = self._machine.network.transfer_cost(
+            len(value) + len(key) + _REQUEST_OVERHEAD,
+            local=local,
+            a=self._machine.name,
+            b=server.machine.name,
+        )
+        ack_seconds = self._machine.network.transfer_cost(
+            16, local=local, a=server.machine.name, b=self._machine.name
+        )
+        self._machine.clock.advance(request_seconds)
+        if arrival is None:
+            arrival = self._machine.clock.now
+        try:
+            future = server.submit_write(
+                table, key, {group: value}, arrival=arrival + request_seconds
+            )
+        except ServerDownError:
+            self.invalidate_cache(table)
+            raise
+        return future, request_seconds, ack_seconds
+
     def get_raw(
         self, table: str, key: bytes, group: str, *, as_of: int | None = None
     ) -> bytes | None:

@@ -156,6 +156,10 @@ def format_stats(stats: ClusterStats, tracer=None) -> str:
         "breaker.trips",
         "admission.shed",
         "deadline.exceeded",
+        "commit.groups",
+        "commit.group_fanin",
+        "commit.acks_deferred",
+        "dfs.append_round_trips",
     )
     totals = "  ".join(
         f"{name}={stats.counters.get(name, 0):,.0f}" for name in interesting

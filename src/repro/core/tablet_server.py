@@ -96,8 +96,26 @@ class TabletServer:
             and self.config.admission_queue_depth is not None
             else None
         )
+        # Group-commit coordinator (config.group_commit gate): concurrent
+        # writes submitted through submit_write coalesce into one DFS
+        # replication round trip per group.  None — the default — keeps
+        # the seed write path untouched.
+        self.commit = self._new_commit_coordinator() if self.config.group_commit else None
         self.serving = True
         self._checkpoint_hook = None  # wired by CheckpointManager
+
+    def _new_commit_coordinator(self):
+        from repro.wal.group_commit import CommitCoordinator
+
+        return CommitCoordinator(
+            self.log,
+            self.machine,
+            max_delay=self.config.group_commit_max_delay,
+            max_records=self.config.group_commit_batch,
+            max_bytes=self.config.group_commit_max_bytes,
+            pipeline=self.config.group_commit_pipeline,
+            traced=self.config.tracing,
+        )
 
     def _maint_span(self, name: str, **attrs):
         """A span for server-driven maintenance (compaction): may start a
@@ -117,8 +135,12 @@ class TabletServer:
         """Kill the server process: every in-memory structure is lost.
 
         The log and any checkpoint files survive in the DFS — that is the
-        whole durability story (§3.4, Guarantee 1)."""
+        whole durability story (§3.4, Guarantee 1).  Commit groups that
+        have not flushed lived only in memory: their members are failed,
+        never acked."""
         self.serving = False
+        if self.commit is not None:
+            self.commit.abandon()
         self._indexes.clear()
         self._update_counters.clear()
         self.secondary.clear()
@@ -144,6 +166,12 @@ class TabletServer:
         )
         if self.config.read_cache_enabled:
             self.read_cache = ReadCache(self.config.cache_budget_bytes)
+        if self.commit is not None:
+            # Anything still pending in the old coordinator died with the
+            # process; the new one writes to the reattached log.
+            self.commit.abandon()
+        if self.config.group_commit:
+            self.commit = self._new_commit_coordinator()
         self.serving = True
 
     # -- tablet assignment -------------------------------------------------------------
@@ -250,6 +278,56 @@ class TabletServer:
             for pointer, record in appended:
                 self._apply_write(tablet, record, pointer)
             return timestamp
+
+    def submit_write(
+        self,
+        table: str,
+        key: bytes,
+        group_values: dict[str, bytes],
+        *,
+        arrival: float | None = None,
+        txn_id: int = 0,
+    ):
+        """Asynchronous write through the group-commit coordinator.
+
+        The write joins (or leads) the open commit group and returns a
+        :class:`~repro.wal.group_commit.CommitFuture` immediately; the
+        per-group indexes are updated — and the write becomes visible to
+        reads — only when the member's group reaches durability, at which
+        point the future resolves with the appended pairs.  ``arrival``
+        is the submission's virtual time (defaults to this server's
+        clock).  Requires the ``group_commit`` gate.
+        """
+        self._require_serving()
+        if self.commit is None:
+            raise RuntimeError(
+                "group commit is not enabled (LogBaseConfig.group_commit)"
+            )
+        tablet = self._route(table, key)
+        timestamp = self.tso.next_timestamp()
+        records = [
+            LogRecord(
+                record_type=RecordType.WRITE,
+                txn_id=txn_id,
+                table=table,
+                tablet=str(tablet.tablet_id),
+                key=key,
+                group=group,
+                timestamp=timestamp,
+                value=value,
+            )
+            for group, value in group_values.items()
+        ]
+
+        def on_durable(appended, _tablet=tablet):
+            for pointer, record in appended:
+                self._apply_write(_tablet, record, pointer)
+
+        if arrival is None:
+            arrival = self.machine.clock.now
+        return self.commit.submit(
+            arrival, records, on_durable=on_durable, token=timestamp
+        )
 
     def write_batch(
         self,

@@ -17,6 +17,8 @@ the paper's Figure 11.
 
 from __future__ import annotations
 
+from contextlib import contextmanager
+
 from repro.dfs.block import BlockInfo, FileMeta
 from repro.dfs.block_cache import DEFAULT_CHUNK_SIZE, BlockCache
 from repro.dfs.datanode import DataNode
@@ -41,6 +43,7 @@ from repro.sim.metrics import (
     DFS_HEDGE_FIRED,
     DFS_HEDGE_LOSSES,
     DFS_HEDGE_WINS,
+    DFS_APPEND_ROUND_TRIPS,
     DFS_READ_FAILOVERS,
     DFS_REREPLICATIONS,
     DFS_UNDER_REPLICATED,
@@ -53,6 +56,43 @@ from repro.sim.metrics import (
 from repro.sim.network import NetworkModel
 
 DEFAULT_BLOCK_SIZE = 64 * 1024 * 1024
+
+
+class _AckDeferral:
+    """Replication-ack seconds collected instead of charged (see
+    :func:`defer_replication_acks`)."""
+
+    __slots__ = ("seconds",)
+
+    def __init__(self) -> None:
+        self.seconds = 0.0
+
+
+_ACK_DEFERRAL: _AckDeferral | None = None
+
+
+@contextmanager
+def defer_replication_acks():
+    """Collect the synchronous replication-ack wait instead of charging it
+    to the writer's clock.
+
+    Inside this scope an append still pays its disk writes and the
+    pipelined data transfer, but the ack leg that normally stalls the
+    writer is accumulated on the yielded collector.  The group-commit
+    coordinator uses this to pipeline: the next group's data starts
+    streaming while the previous group's acks drain, and each member is
+    acked only once its own group's deferred wait has elapsed.  Scopes
+    nest (the inner collector shadows the outer one, matching how one
+    flush owns the pipeline at a time).
+    """
+    global _ACK_DEFERRAL
+    previous = _ACK_DEFERRAL
+    deferral = _AckDeferral()
+    _ACK_DEFERRAL = deferral
+    try:
+        yield deferral
+    finally:
+        _ACK_DEFERRAL = previous
 
 
 class DFS:
@@ -323,6 +363,7 @@ class DFS:
         # bytes after this append; full chunks are immutable.
         self._invalidate_cached_tail(block.block_id, block.length)
         crash_point(CP_DFS_APPEND, block=block.block_id, writer=writer.name)
+        writer.counters.add(DFS_APPEND_ROUND_TRIPS)
         live: list[DataNode] = []
         dead: list[str] = []
         for name in block.locations:
@@ -359,8 +400,14 @@ class DFS:
             )
             replica.append_replica(block.block_id, data)
             acked += self.network.links.factor(primary.name, replica.name)
-        # Synchronous ack travels back up the pipeline before return.
-        writer.clock.advance(self.network.latency * acked)
+        # Synchronous ack travels back up the pipeline before return —
+        # unless a group-commit flush is deferring acks to overlap the
+        # next group's data stream with this one's ack drain.
+        ack_wait = self.network.latency * acked
+        if _ACK_DEFERRAL is not None:
+            _ACK_DEFERRAL.seconds += ack_wait
+        else:
+            writer.clock.advance(ack_wait)
         block.length += len(data)
         if dead:
             self._prune_replicas(block, dead, writer)

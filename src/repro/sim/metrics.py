@@ -147,6 +147,22 @@ SPAN_RECOVERY_ADOPT = REGISTRY.register("recovery.adopt")
 HIST_SPAN_LATENCY_PREFIX = REGISTRY.register_prefix("latency.")
 HIST_CHAOS_READ_LATENCY = REGISTRY.register("latency.chaos.read")
 
+# Canonical names for concurrent clients + group commit (PR 7).
+# ``commit.groups`` counts flushed groups, ``commit.group_fanin`` sums the
+# member submissions across them (mean fan-in = fanin / groups), and
+# ``commit.acks_deferred`` counts members whose replication ack drained
+# while the next group's data was already streaming (the pipeline
+# overlap).  ``dfs.append_round_trips`` counts synchronous replication
+# pipelines run by the DFS — the quantity group commit collapses from one
+# per record to ~one per group.
+COMMIT_GROUPS = REGISTRY.register("commit.groups")
+COMMIT_GROUP_FANIN = REGISTRY.register("commit.group_fanin")
+COMMIT_ACKS_DEFERRED = REGISTRY.register("commit.acks_deferred")
+DFS_APPEND_ROUND_TRIPS = REGISTRY.register("dfs.append_round_trips")
+SPAN_COMMIT_FLUSH = REGISTRY.register("commit.flush")
+HIST_COMMIT_LATENCY = REGISTRY.register("latency.commit")
+HIST_COMMIT_FANIN = REGISTRY.register("commit.fanin")
+
 REGISTRY.freeze()
 
 

@@ -180,16 +180,13 @@ class LogRepository:
     # -- appends -------------------------------------------------------------------
 
     def append(self, record: LogRecord) -> tuple[LogPointer, LogRecord]:
-        """Assign an LSN, durably append, and return (pointer, stamped record)."""
-        crash_point(CP_LOG_APPEND, machine=self._machine.name, root=self._root)
-        stamped = record.with_lsn(self._next_lsn)
-        self._next_lsn += 1
-        encoded = stamped.encode()
-        self._machine.counters.add(LOG_INGEST_BYTES, len(encoded))
-        with span(SPAN_LOG_APPEND, self._machine, bytes=len(encoded)):
-            writer = self._roll_if_needed(len(encoded))
-            pointer = writer.append(encoded)
-        self._refresh_reader(writer.file_no)
+        """Assign an LSN, durably append, and return (pointer, stamped record).
+
+        A one-record batch: the segment-roll/oversize-split logic lives
+        only in :meth:`append_batch`, and a single record pays exactly the
+        same cost either way (same crash point, one DFS append).
+        """
+        [(pointer, stamped)] = self.append_batch([record])
         return pointer, stamped
 
     def append_batch(self, records: list[LogRecord]) -> list[tuple[LogPointer, LogRecord]]:

@@ -1,0 +1,101 @@
+"""Server-side group commit: the config gate, submit_write visibility,
+and coordinator lifecycle across crash/restart."""
+
+import pytest
+
+from repro.config import LogBaseConfig
+from repro.core.database import LogBase
+from repro.errors import ServerDownError
+
+
+def make_key(value: int) -> bytes:
+    return str(value).zfill(12).encode()
+
+
+@pytest.fixture
+def gc_db(schema):
+    db = LogBase(
+        n_nodes=3, config=LogBaseConfig.with_group_commit(segment_size=16 * 1024)
+    )
+    db.create_table(schema)
+    return db
+
+
+def server_for(db, key):
+    name, _tablet = db.cluster.master.locate("events", key)
+    return db.cluster.master.server(name)
+
+
+def test_gate_defaults_off_and_preset_turns_on():
+    assert LogBaseConfig().group_commit is False
+    config = LogBaseConfig.with_group_commit()
+    assert config.group_commit is True
+    config.validate()
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {"group_commit_batch": 0},
+        {"group_commit_max_delay": -0.001},
+        {"group_commit_max_bytes": 0},
+    ],
+)
+def test_validate_rejects_bad_group_commit_settings(kwargs):
+    with pytest.raises(ValueError):
+        LogBaseConfig(**kwargs).validate()
+
+
+def test_gate_off_has_no_coordinator(db):
+    server = server_for(db, make_key(1))
+    assert server.commit is None
+    with pytest.raises(RuntimeError, match="group_commit"):
+        server.submit_write("events", make_key(1), {"payload": b"v"})
+
+
+def test_submit_write_visible_only_after_flush(gc_db):
+    key = make_key(1)
+    server = server_for(gc_db, key)
+    future = server.submit_write("events", key, {"payload": b"hello"})
+    assert not future.done
+    # Not yet durable: the group has not flushed, so reads miss.
+    assert server.read("events", key, "payload") is None
+    server.commit.drain()
+    assert future.acked
+    timestamp, value = server.read("events", key, "payload")
+    assert value == b"hello"
+    assert timestamp == future.token
+
+
+def test_client_submit_put_raw_round_trip(gc_db):
+    key = make_key(2)
+    client = gc_db.client(gc_db.cluster.machines[0])
+    future, request_seconds, ack_seconds = client.submit_put_raw(
+        "events", key, "payload", b"async"
+    )
+    assert request_seconds > 0 and ack_seconds > 0
+    server_for(gc_db, key).commit.drain()
+    assert future.acked
+    assert client.get_raw("events", key, "payload") == b"async"
+
+
+def test_crash_abandons_pending_futures(gc_db):
+    key = make_key(3)
+    server = server_for(gc_db, key)
+    future = server.submit_write("events", key, {"payload": b"doomed"})
+    server.crash()
+    assert future.done and not future.acked
+    assert isinstance(future.error, ServerDownError)
+
+
+def test_restart_installs_fresh_coordinator(gc_db):
+    key = make_key(4)
+    server = server_for(gc_db, key)
+    old = server.commit
+    server.crash()
+    server.restart()
+    assert server.commit is not None and server.commit is not old
+    future = server.submit_write("events", key, {"payload": b"recovered"})
+    server.commit.drain()
+    assert future.acked
+    assert server.read("events", key, "payload")[1] == b"recovered"
