@@ -12,6 +12,11 @@ are atomic (all-or-nothing).
 
 from repro.chaos.gray import GRAY_SCHEDULES, GraySchedule, run_gray
 from repro.chaos.oracle import DurabilityOracle, WriteStatus
+from repro.chaos.recovery import (
+    RECOVERY_SCENARIOS,
+    RecoveryChaosReport,
+    run_recovery_chaos,
+)
 from repro.chaos.runner import ChaosReport, run_chaos
 from repro.chaos.schedules import SCHEDULES, ChaosSchedule
 
@@ -21,8 +26,11 @@ __all__ = [
     "DurabilityOracle",
     "GRAY_SCHEDULES",
     "GraySchedule",
+    "RECOVERY_SCENARIOS",
+    "RecoveryChaosReport",
     "SCHEDULES",
     "WriteStatus",
     "run_chaos",
     "run_gray",
+    "run_recovery_chaos",
 ]

@@ -124,6 +124,17 @@ class LogBaseConfig:
         compaction_max_input_bytes: I/O budget per compaction plan —
             a plan stops adding input segments past this many bytes
             (None removes the cap).
+        fast_recovery: restart recovery partitions the redo scan per
+            tablet and multiplexes per-tablet redo workers over the
+            virtual-time scheduler, bringing tablets back to serving in
+            access-heat order the moment their own redo completes; ops on
+            still-recovering tablets are rejected with a retryable
+            ``TabletRecoveringError``.  Off by default so the seed
+            figures (fig18's sequential recovery included) are reproduced
+            byte-identically; :meth:`with_fast_recovery` enables it.
+        recovery_workers: parallel redo workers (scan + per-tablet
+            bring-up lanes) a fast recovery multiplexes over the
+            scheduler.
         tracing: install a :class:`~repro.obs.trace.Tracer` on the
             cluster and open spans at every gated entry point (client
             ops, tablet-server calls, compaction, recovery), attributing
@@ -175,6 +186,8 @@ class LogBaseConfig:
     breaker_cooldown: float = 2.0
     breaker_min_samples: int = 3
     admission_queue_depth: int | None = None
+    fast_recovery: bool = False
+    recovery_workers: int = 4
     incremental_compaction: bool = False
     compaction_tier_fanout: int = 4
     compaction_max_input_bytes: int | None = None
@@ -262,6 +275,30 @@ class LogBaseConfig:
             "hedge_reads": True,
             "breaker_enabled": True,
             "admission_queue_depth": 64,
+        }
+        settings.update(overrides)
+        return cls(**settings)
+
+    @classmethod
+    def with_fast_recovery(cls, **overrides) -> "LogBaseConfig":
+        """A config with the fast-recovery subsystem enabled on top of
+        the fault-tolerance layer: parallel per-tablet redo over the
+        virtual-time scheduler, hot-first tablet bring-up with
+        serve-while-recovering (``TabletRecoveringError`` honored by the
+        client's retry backoff), and crash-safe split/adopt handoff.
+
+        The plain constructor keeps it off so the seed cost model and
+        figures (fig18's sequential recovery included) are reproduced
+        byte-identically; this preset is what the recovery benchmark
+        (``bench_recovery``) and recovery chaos schedules measure.
+        """
+        settings: dict = {
+            "dfs_checksum_replicas": True,
+            "dfs_verify_reads": True,
+            "dfs_auto_rereplicate": True,
+            "dfs_degraded_allocation": True,
+            "client_retry_limit": 3,
+            "fast_recovery": True,
         }
         settings.update(overrides)
         return cls(**settings)
@@ -387,6 +424,8 @@ class LogBaseConfig:
             raise ValueError("breaker_min_samples must be >= 1")
         if self.admission_queue_depth is not None and self.admission_queue_depth < 1:
             raise ValueError("admission_queue_depth must be >= 1 or None")
+        if self.recovery_workers < 1:
+            raise ValueError("recovery_workers must be >= 1")
         if self.compaction_tier_fanout < 2:
             raise ValueError("compaction_tier_fanout must be >= 2")
         if (

@@ -100,6 +100,28 @@ class CheckpointManager:
         payload = self._dfs.open(self._block_path(), self._server.machine).read_all()
         return CheckpointBlock.from_bytes(payload)
 
+    def load_tablet(self, block: CheckpointBlock, tablet_id: str) -> int:
+        """Reload only one tablet's index files from ``block``.
+
+        Fast recovery staggers checkpoint reloads per tablet so each
+        tablet pays only its own DFS reads before it can serve; the
+        caller restores the LSN cursor once for the whole pass.  Returns
+        the number of index files loaded.
+        """
+        server = self._server
+        loaded = 0
+        for slot, path in block.index_files.items():
+            tablet_id_str, group = slot.split("|")
+            if tablet_id_str != tablet_id:
+                continue
+            tablet = server.tablets.get(tablet_id_str)
+            if tablet is None:
+                continue  # tablet moved elsewhere; its new owner loads it
+            index = server._ensure_index(tablet.tablet_id, group)
+            load_index_file(self._dfs, path, server.machine, index)
+            loaded += 1
+        return loaded
+
     def load_checkpoint(self) -> CheckpointBlock:
         """Reload the persisted index files into the server's indexes.
 

@@ -15,7 +15,12 @@ from contextlib import nullcontext
 from repro.core.master import Master
 from repro.core.schema import decode_group_value, encode_group_value
 from repro.core.tablet import Tablet
-from repro.errors import ServerDownError, ServerOverloadedError, TabletNotFound
+from repro.errors import (
+    ServerDownError,
+    ServerOverloadedError,
+    TabletNotFound,
+    TabletRecoveringError,
+)
 from repro.obs.trace import root_span, span
 from repro.sim.deadline import Deadline, deadline_scope
 from repro.sim.health import CircuitBreaker, GrayPolicy
@@ -287,6 +292,16 @@ class Client:
                     self._machine.clock.advance(
                         max(exc.retry_after, self._backoff(attempts))
                     )
+            except TabletRecoveringError:
+                # The tablet is still owned by that server — its redo just
+                # has not finished.  Keep the location cache and wait out
+                # part of the recovery window with the same backoff.
+                if attempts >= self._retry_limit:
+                    raise
+                attempts += 1
+                self._machine.counters.add(CLIENT_RETRIES)
+                with span(SPAN_CLIENT_RETRY, self._machine, attempt=attempts):
+                    self._machine.clock.advance(self._backoff(attempts))
 
     # -- typed API -----------------------------------------------------------------------
 

@@ -82,6 +82,10 @@ class LogBaseCluster:
         self.servers: list[TabletServer] = []
         self.checkpoints: dict[str, CheckpointManager] = {}
         self.failures = FailureInjector()
+        # Master-side view of tablet access heat, folded in from server
+        # heartbeats.  It survives server crashes (the server's own heat
+        # dies with its memory) so fast recovery can order bring-up.
+        self.tablet_heat: dict[str, float] = {}
         for machine in self.machines:
             server = TabletServer(
                 f"ts-{machine.name}", machine, self.dfs, self.tso, self.config
@@ -186,8 +190,13 @@ class LogBaseCluster:
         and picks up work at the next ``rebalance()`` (kill -> revive ->
         re-adopt).  Returns the :class:`~repro.core.recovery.RecoveryReport`
         when recovery ran, else None.
+
+        With ``config.fast_recovery`` on, recovery runs the parallel
+        hot-first path: redo partitioned across ``recovery_workers``
+        virtual workers, tablets brought up hottest-first (using the
+        heartbeat heat snapshot) and served as each one completes.
         """
-        from repro.core.recovery import recover_server
+        from repro.core.recovery import recover_server, recover_server_parallel
 
         server = self.server_by_name(name)
         if not server.machine.alive:
@@ -199,6 +208,10 @@ class LogBaseCluster:
             # Session survived the crash: just refresh the catalog handle.
             self.master.catalog.servers[name] = server
         if recover:
+            if self.config.fast_recovery:
+                return recover_server_parallel(
+                    server, self.checkpoints[name], heat=dict(self.tablet_heat)
+                )
             return recover_server(server, self.checkpoints[name])
         return None
 
@@ -219,6 +232,13 @@ class LogBaseCluster:
             if not server.machine.alive or not server.serving:
                 self.master.expire_server(server.name)
                 expired.append(server.name)
+        # Fold live servers' access heat into the master-side snapshot
+        # (fast recovery orders a crashed server's tablet bring-up by it).
+        for server in self.servers:
+            if server.machine.alive and server.serving:
+                for tablet_id, value in server.heat.items():
+                    if value > self.tablet_heat.get(tablet_id, 0.0):
+                        self.tablet_heat[tablet_id] = value
         created = 0
         if self.config.dfs_auto_rereplicate:
             created = self.dfs.heartbeat()

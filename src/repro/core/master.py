@@ -49,6 +49,9 @@ class SharedCatalog:
     assignments: dict[str, str] = field(default_factory=dict)  # tablet -> server
     servers: dict[str, TabletServer] = field(default_factory=dict)
     server_sessions: dict[str, Session] = field(default_factory=dict)
+    # Split-fence epoch per (dead or moving) server: bumped before each
+    # log split so adopters can reject a crashed splitter's stale files.
+    fence_epochs: dict[str, int] = field(default_factory=dict)
 
 
 @dataclass
@@ -224,22 +227,31 @@ class Master:
 
         The failed server's log (in the shared DFS) is split by tablet;
         each adopting server redoes its new tablet's split file.
+
+        The procedure is *restartable*: ownership of each tablet flips
+        only after its adoption replay finished, so if the splitter or an
+        adopter crashes mid-failover the tablet is still orphaned and a
+        retried call re-splits (under a fresh fence epoch) and re-adopts
+        it — the adopter's (key, timestamp) dedupe keeps the replay from
+        double-appending whatever the crashed attempt already re-homed.
         """
         self.expire_server(failed)
         failed_server = self._servers.pop(failed, None)
-        if failed_server is None:
-            raise ServerDownError(f"unknown server {failed}")
-        healthy = self.live_servers()
-        if not healthy:
-            raise ServerDownError("no healthy servers left to adopt tablets")
-        report = FailoverReport(failed_server=failed)
         orphaned = [
             tablet_id
             for tablet_id, owner in self._assignments.items()
             if owner == failed
         ]
+        if failed_server is None and not orphaned:
+            raise ServerDownError(f"unknown server {failed}")
+        healthy = self.live_servers()
+        if not healthy:
+            raise ServerDownError("no healthy servers left to adopt tablets")
+        report = FailoverReport(failed_server=failed)
         if not orphaned:
             return report
+        epoch = self.catalog.fence_epochs.get(failed, 0) + 1
+        self.catalog.fence_epochs[failed] = epoch
         splitter = self._servers[healthy[0]].machine
 
         def locate_tablet(table: str, key: bytes) -> str:
@@ -249,17 +261,19 @@ class Master:
             return ""
 
         splits = split_log_by_tablet(
-            self.dfs, failed, splitter, locate=locate_tablet
+            self.dfs, failed, splitter, locate=locate_tablet, fence=epoch
         )
         for i, tablet_id in enumerate(sorted(orphaned)):
             target = healthy[i % len(healthy)]
             tablet = self._tablet_by_id(tablet_id)
-            self._assign(tablet, target)
-            report.reassigned[tablet_id] = target
+            self._servers[target].assign_tablet(tablet)
             if tablet_id in splits.paths:
                 report.recovery[tablet_id] = adopt_split_log(
-                    self._servers[target], self.dfs, failed, tablet_id
+                    self._servers[target], self.dfs, failed, tablet_id, fence=epoch
                 )
+            # The flip is the commit point of this tablet's failover.
+            self._assignments[tablet_id] = target
+            report.reassigned[tablet_id] = target
         return report
 
     # -- automatic failure detection (§3.3: the master monitors servers) ----------
@@ -309,14 +323,20 @@ class Master:
                     return str(candidate.tablet_id)
             return ""
 
+        epoch = self.catalog.fence_epochs.get(source_name, 0) + 1
+        self.catalog.fence_epochs[source_name] = epoch
         splits = split_log_by_tablet(
-            self.dfs, source_name, self._servers[target].machine, locate=locate_tablet
+            self.dfs,
+            source_name,
+            self._servers[target].machine,
+            locate=locate_tablet,
+            fence=epoch,
         )
         self._servers[target].assign_tablet(tablet)
         report = RecoveryReport()
         if tablet_id in splits.paths:
             report = adopt_split_log(
-                self._servers[target], self.dfs, source_name, tablet_id
+                self._servers[target], self.dfs, source_name, tablet_id, fence=epoch
             )
         self._assignments[tablet_id] = target
         source.unassign_tablet(tablet.tablet_id)

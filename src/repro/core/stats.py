@@ -46,6 +46,8 @@ class ServerStats:
     cache: CacheStats | None
     block_cache: CacheStats | None = None
     counters: dict[str, float] = field(default_factory=dict)
+    recovering_tablets: int = 0  # tablets owned but not yet redone
+    last_recovery: dict | None = None  # RecoveryReport.to_dict() of last pass
 
 
 @dataclass(frozen=True)
@@ -92,6 +94,12 @@ def collect_server_stats(server: TabletServer) -> ServerStats:
         cache=cache,
         block_cache=block_cache,
         counters=server.machine.counters.snapshot(),
+        recovering_tablets=len(server.recovering_tablets),
+        last_recovery=(
+            server.last_recovery.to_dict()
+            if server.last_recovery is not None
+            else None
+        ),
     )
 
 
@@ -160,6 +168,9 @@ def format_stats(stats: ClusterStats, tracer=None) -> str:
         "commit.group_fanin",
         "commit.acks_deferred",
         "dfs.append_round_trips",
+        "recovery.parallel_runs",
+        "recovery.tablets_recovered",
+        "recovery.rejected_ops",
     )
     totals = "  ".join(
         f"{name}={stats.counters.get(name, 0):,.0f}" for name in interesting

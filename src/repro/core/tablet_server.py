@@ -19,7 +19,7 @@ from repro.coordination.tso import TimestampOracle
 from repro.core.read_cache import ReadCache
 from repro.core.tablet import Tablet, TabletId
 from repro.dfs.filesystem import DFS
-from repro.errors import ServerDownError, TabletNotFound
+from repro.errors import ServerDownError, TabletNotFound, TabletRecoveringError
 from repro.index.blink import BLinkTreeIndex
 from repro.index.interface import MultiversionIndex
 from repro.index.lsm import LSMTreeIndex
@@ -29,6 +29,7 @@ from repro.sim.deadline import check_deadline
 from repro.sim.health import AdmissionController
 from repro.sim.machine import Machine
 from repro.sim.metrics import (
+    RECOVERY_REJECTED_OPS,
     SPAN_COMPACTION_PLAN,
     SPAN_COMPACTION_ROUND,
     SPAN_TS_APPEND_TXN,
@@ -102,6 +103,17 @@ class TabletServer:
         # the seed write path untouched.
         self.commit = self._new_commit_coordinator() if self.config.group_commit else None
         self.serving = True
+        # Access heat per tablet id (client-facing op counts).  Pure
+        # bookkeeping — no simulated cost — so the seed figures are
+        # unaffected; fast recovery orders tablet bring-up by it.
+        self.heat: dict[str, float] = {}
+        # Tablets owned but not yet redone (fast recovery's serve-while-
+        # recovering window); ops on them raise TabletRecoveringError.
+        self.recovering_tablets: set[str] = set()
+        # Last RecoveryReport this server's recovery produced (stats).
+        self.last_recovery = None
+        # Per-tablet redo-duration histogram of the last parallel recovery.
+        self.recovery_histogram = None
         self._checkpoint_hook = None  # wired by CheckpointManager
 
     def _new_commit_coordinator(self):
@@ -131,6 +143,29 @@ class TabletServer:
         if not self.serving or not self.machine.alive:
             raise ServerDownError(f"tablet server {self.name} is down")
 
+    # -- fast-recovery serving state -----------------------------------------------
+
+    def begin_tablet_recovery(self, tablet_ids) -> None:
+        """Mark tablets as owned-but-recovering: ops on them are rejected
+        with a retryable :class:`TabletRecoveringError` until their redo
+        finishes (graceful degradation instead of a binary outage)."""
+        self.recovering_tablets.update(str(t) for t in tablet_ids)
+
+    def finish_tablet_recovery(self, tablet_id) -> None:
+        """Flip one tablet back to serving the moment its redo completes."""
+        self.recovering_tablets.discard(str(tablet_id))
+
+    def _check_tablet_serving(self, tablet: Tablet) -> None:
+        if self.recovering_tablets and str(tablet.tablet_id) in self.recovering_tablets:
+            self.machine.counters.add(RECOVERY_REJECTED_OPS)
+            raise TabletRecoveringError(
+                f"tablet {tablet.tablet_id} on {self.name} is still recovering"
+            )
+
+    def _touch_heat(self, tablet: Tablet) -> None:
+        tablet_id = str(tablet.tablet_id)
+        self.heat[tablet_id] = self.heat.get(tablet_id, 0.0) + 1.0
+
     def crash(self) -> None:
         """Kill the server process: every in-memory structure is lost.
 
@@ -144,6 +179,8 @@ class TabletServer:
         self._indexes.clear()
         self._update_counters.clear()
         self.secondary.clear()
+        self.heat.clear()
+        self.recovering_tablets.clear()
         if self.read_cache is not None:
             self.read_cache.clear()
 
@@ -156,6 +193,8 @@ class TabletServer:
         self._indexes.clear()
         self._update_counters.clear()
         self.secondary.clear()
+        self.heat.clear()
+        self.recovering_tablets.clear()
         self.log = LogRepository.reattach(
             self.dfs,
             self.machine,
@@ -259,6 +298,8 @@ class TabletServer:
         self._require_serving()
         with span(SPAN_TS_WRITE, self.machine, table=table):
             tablet = self._route(table, key)
+            self._check_tablet_serving(tablet)
+            self._touch_heat(tablet)
             if timestamp is None:
                 timestamp = self.tso.next_timestamp()
             records = [
@@ -304,6 +345,8 @@ class TabletServer:
                 "group commit is not enabled (LogBaseConfig.group_commit)"
             )
         tablet = self._route(table, key)
+        self._check_tablet_serving(tablet)
+        self._touch_heat(tablet)
         timestamp = self.tso.next_timestamp()
         records = [
             LogRecord(
@@ -350,6 +393,8 @@ class TabletServer:
             timestamps: list[int] = []
             for key, group_values in items:
                 tablet = self._route(table, key)
+                self._check_tablet_serving(tablet)
+                self._touch_heat(tablet)
                 timestamp = self.tso.next_timestamp()
                 timestamps.append(timestamp)
                 for group, value in group_values.items():
@@ -452,6 +497,8 @@ class TabletServer:
         check_deadline("tablet read")
         with span(SPAN_TS_READ, self.machine, table=table, group=group):
             tablet = self._route(table, key)  # reject keys this server no longer owns
+            self._check_tablet_serving(tablet)
+            self._touch_heat(tablet)
             if self.read_cache is not None:
                 cached = self.read_cache.get(table, group, key)
                 if cached is not None:
@@ -479,7 +526,9 @@ class TabletServer:
     def read_version_timestamp(self, table: str, key: bytes, group: str) -> int | None:
         """Current version timestamp only (MVOCC validation, §3.7.1)."""
         self._require_serving()
-        entry = self.index_for(table, key, group).lookup_latest(key)
+        tablet = self._route(table, key)
+        self._check_tablet_serving(tablet)
+        entry = self._ensure_index(tablet.tablet_id, group).lookup_latest(key)
         return None if entry is None else entry.timestamp
 
     # -- delete path (§3.6.3) ----------------------------------------------------------------
@@ -494,6 +543,8 @@ class TabletServer:
         self._require_serving()
         with span(SPAN_TS_DELETE, self.machine, table=table, group=group):
             tablet = self._route(table, key)
+            self._check_tablet_serving(tablet)
+            self._touch_heat(tablet)
             timestamp = self.tso.next_timestamp()
             index = self._ensure_index(tablet.tablet_id, group)
             removed = index.delete_key(key)
@@ -547,6 +598,8 @@ class TabletServer:
             (t for t in self.tablets.values() if t.table == table),
             key=lambda t: t.key_range.start,
         ):
+            self._check_tablet_serving(tablet)
+            self._touch_heat(tablet)
             index = self._ensure_index(tablet.tablet_id, group)
             entries = index.latest_in_range(start_key, end_key, as_of=as_of)
             if not batching:

@@ -190,5 +190,12 @@ class ServerOverloadedError(ClusterError):
         self.retry_after = retry_after
 
 
+class TabletRecoveringError(ClusterError):
+    """The addressed tablet is owned by this server but its redo has not
+    finished yet (fast recovery serves tablets as each one's replay
+    completes).  Retryable: the client's existing backoff covers the
+    remaining recovery window."""
+
+
 class RecoveryError(ClusterError):
     """Recovery of a failed tablet server could not complete."""

@@ -139,6 +139,9 @@ CP_COMPACTION_MID = "compaction.mid"    # after reduce, before install
 CP_META_PERSIST = "log.meta_persist"    # slim metadata written to temp, not yet swapped
 CP_DFS_APPEND = "dfs.append"            # ctx: block, writer — per pipeline run
 CP_DFS_REREPLICATE = "dfs.rereplicate"  # ctx: block — per block re-replicated
+CP_RECOVERY_MID = "recovery.mid"        # ctx: server, segment|tablet — mid redo
+CP_SPLIT_PERSIST = "recovery.split_persist"  # split file on temp, not yet swapped
+CP_ADOPT_MID = "recovery.adopt_mid"     # ctx: server, tablet — mid adoption replay
 
 
 @dataclass

@@ -163,6 +163,23 @@ SPAN_COMMIT_FLUSH = REGISTRY.register("commit.flush")
 HIST_COMMIT_LATENCY = REGISTRY.register("latency.commit")
 HIST_COMMIT_FANIN = REGISTRY.register("commit.fanin")
 
+# Canonical names for fast parallel recovery (PR 8).
+# ``recovery.parallel_runs`` counts parallel recovery passes,
+# ``recovery.tablets_recovered`` counts tablets flipped back to serving,
+# ``recovery.rejected_ops`` counts client ops bounced off still-recovering
+# tablets with TabletRecoveringError, ``recovery.splits_persisted`` counts
+# atomically-installed split files, and ``recovery.adopt_skipped`` counts
+# re-homed records an idempotent re-adoption found already applied.
+RECOVERY_PARALLEL_RUNS = REGISTRY.register("recovery.parallel_runs")
+RECOVERY_TABLETS_RECOVERED = REGISTRY.register("recovery.tablets_recovered")
+RECOVERY_WRITES_APPLIED = REGISTRY.register("recovery.writes_applied")
+RECOVERY_DELETES_APPLIED = REGISTRY.register("recovery.deletes_applied")
+RECOVERY_REJECTED_OPS = REGISTRY.register("recovery.rejected_ops")
+RECOVERY_SPLITS_PERSISTED = REGISTRY.register("recovery.splits_persisted")
+RECOVERY_ADOPT_SKIPPED = REGISTRY.register("recovery.adopt_skipped")
+SPAN_RECOVERY_TABLET = REGISTRY.register("recovery.tablet_redo")
+HIST_RECOVERY_TABLET_SECONDS = REGISTRY.register("latency.recovery.tablet")
+
 REGISTRY.freeze()
 
 

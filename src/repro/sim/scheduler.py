@@ -61,6 +61,25 @@ class Advance:
     seconds: float
 
 
+def measured(machine, fn: Callable[[float], Any]) -> Callable[[float], tuple[Any, float]]:
+    """Wrap a cluster operation as an :class:`Invoke`-compatible fn.
+
+    Scheduler steps execute serially in real time while machine clocks
+    accumulate resource-time, so the virtual duration of one step is the
+    machine-clock delta around it: ``fn(now)`` runs the operation against
+    the cluster and ``measured`` returns ``(result, clock delta)``.  The
+    fast-recovery workers use this to charge each redo slice to its
+    worker's virtual timeline.
+    """
+
+    def invoke(now: float) -> tuple[Any, float]:
+        start = machine.clock.now
+        result = fn(now)
+        return result, machine.clock.now - start
+
+    return invoke
+
+
 class _Raise:
     """Internal event payload: re-throw ``error`` inside the generator."""
 

@@ -504,7 +504,13 @@ class LogRepository:
             if name.startswith("segments.meta"):
                 continue
             stem = name.rsplit(".", 1)[0]
-            file_no = int(stem.split("-")[-1])
+            try:
+                file_no = int(stem.split("-")[-1])
+            except ValueError:
+                # Not a segment file — e.g. a split writer's leftover
+                # ``segment-*.log.tmp`` from a crash mid-persist, or a
+                # fence token.  Skip rather than refuse to reattach.
+                continue
             repo._paths[file_no] = path
             repo._next_file_no = max(repo._next_file_no, file_no + 1)
         return repo

@@ -1,0 +1,52 @@
+"""Seeded crash-during-recovery chaos schedules against the durability
+oracle: crashes mid-redo, mid-split, and mid-adoption must all converge
+on retry with every acked write readable."""
+
+import pytest
+
+from repro.chaos import RECOVERY_SCENARIOS, run_recovery_chaos
+
+
+@pytest.mark.parametrize("scenario", sorted(RECOVERY_SCENARIOS))
+@pytest.mark.parametrize("seed", [1, 2])
+def test_recovery_scenario_upholds_durability(scenario, seed):
+    report = run_recovery_chaos(scenario, seed=seed)
+    assert report.passed, report.violations
+    assert report.faults_fired >= 1  # the schedule actually struck
+    assert report.first_attempt_failed  # ... and mid-procedure
+    assert report.acked == report.ops
+    assert report.keys_checked == report.ops
+
+
+def test_crash_during_adoption_dedupes_the_replay():
+    report = run_recovery_chaos("crash-during-adoption")
+    assert report.passed, report.violations
+    # The first (killed) adoption durably re-homed some records; the
+    # retried adoption must skip exactly those instead of double-appending.
+    assert report.adopt_skipped >= 1
+    assert report.fence_epoch == 2  # one fresh epoch per failover attempt
+
+
+def test_crash_during_split_refences():
+    report = run_recovery_chaos("crash-during-split")
+    assert report.passed, report.violations
+    assert report.fence_epoch == 2
+
+
+def test_unknown_scenario_raises():
+    with pytest.raises(KeyError):
+        run_recovery_chaos("crash-during-lunch")
+
+
+def test_too_small_cluster_raises():
+    with pytest.raises(ValueError):
+        run_recovery_chaos("crash-during-recovery", n_nodes=3)
+
+
+def test_report_round_trips_to_dict():
+    report = run_recovery_chaos("crash-during-recovery")
+    payload = report.to_dict()
+    assert payload["scenario"] == "crash-during-recovery"
+    assert payload["passed"] is True
+    assert payload["violations"] == []
+    assert payload["acked"] == payload["ops"] == payload["keys_checked"]

@@ -212,3 +212,26 @@ def test_makespan_is_latest_finish():
     scheduler.add_client(client(1.5))
     assert scheduler.run() == pytest.approx(1.5)
     assert scheduler.finished == 2
+
+
+def test_measured_charges_machine_clock_delta():
+    from repro.sim.machine import Machine
+    from repro.sim.scheduler import measured
+
+    machine = Machine("m")
+
+    def op(now):
+        machine.clock.advance(0.5)
+        return "ok"
+
+    result, seconds = measured(machine, op)(0.0)
+    assert result == "ok"
+    assert seconds == pytest.approx(0.5)
+
+    def worker():
+        got = yield Invoke(measured(machine, op))
+        assert got == ("ok", pytest.approx(0.5))
+
+    scheduler = ConcurrentScheduler()
+    scheduler.add_client(worker())
+    assert scheduler.run() == pytest.approx(0.5)
