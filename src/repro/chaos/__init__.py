@@ -11,6 +11,12 @@ are atomic (all-or-nothing).
 """
 
 from repro.chaos.gray import GRAY_SCHEDULES, GraySchedule, run_gray
+from repro.chaos.migration import (
+    MIGRATION_SCENARIOS,
+    MigrationChaosReport,
+    check_single_owner,
+    run_migration_chaos,
+)
 from repro.chaos.oracle import DurabilityOracle, WriteStatus
 from repro.chaos.recovery import (
     RECOVERY_SCENARIOS,
@@ -26,11 +32,15 @@ __all__ = [
     "DurabilityOracle",
     "GRAY_SCHEDULES",
     "GraySchedule",
+    "MIGRATION_SCENARIOS",
+    "MigrationChaosReport",
     "RECOVERY_SCENARIOS",
     "RecoveryChaosReport",
     "SCHEDULES",
     "WriteStatus",
+    "check_single_owner",
     "run_chaos",
     "run_gray",
+    "run_migration_chaos",
     "run_recovery_chaos",
 ]

@@ -1,0 +1,370 @@
+"""Migration chaos: handoffs interrupted at every step must stay safe.
+
+Live migration opens windows the recovery schedules never exercised: a
+source dying while the target replays its log, a target dying inside the
+fenced flip, the *master* dying with a migration half-persisted, and the
+nastiest of all — the old owner partitioned away while ownership moves,
+where only the lapsed lease stands between the cluster and two servers
+serving the same tablet.  Each scenario here arms a fault at the matching
+crash point (``CP_MIGRATION_PREPARE`` / ``CP_MIGRATION_CATCHUP`` /
+``CP_MIGRATION_FLIP``), lets the first attempt die mid-flight, converges
+the way an operator (or a freshly-elected master) would via
+:meth:`~repro.core.migration.LiveMigrator.resume`, and then verifies two
+contracts:
+
+* the **durability oracle** — every write acked before, during, or after
+  the handoff is readable afterwards, never shadowed by an older
+  version; and
+* the **single-owner invariant** — at no observable point do two live
+  servers both *serve* a tablet.  Holding stale state is fine (a
+  partitioned ex-owner keeps its indexes until heartbeat reconciliation
+  reclaims them); being *willing to serve* — alive, unfenced, lease
+  valid — is what must be unique, and must match the catalog.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.chaos.oracle import DurabilityOracle, WriteStatus
+from repro.chaos.runner import GROUP, KEY_DOMAIN, KEY_WIDTH, SCHEMA, TABLE
+from repro.config import LogBaseConfig
+from repro.core.database import LogBase
+from repro.errors import (
+    LogBaseError,
+    ServerDownError,
+    SessionExpiredError,
+    TabletMigratingError,
+)
+from repro.sim.failure import (
+    CP_MIGRATION_CATCHUP,
+    CP_MIGRATION_FLIP,
+    FaultPlan,
+    fault_plan,
+    kill_action,
+)
+
+SOURCE = "ts-node-0"
+TARGET = "ts-node-1"
+
+
+@dataclass
+class MigrationChaosReport:
+    """Outcome of one interrupted-migration chaos run."""
+
+    scenario: str
+    seed: int
+    ops: int
+    acked: int = 0
+    faults_fired: int = 0
+    first_attempt_failed: bool = False
+    resume_outcomes: list[dict] = field(default_factory=list)
+    final_owner: str = ""
+    stale_owner_rejected: bool = False
+    keys_checked: int = 0
+    violations: list[str] = field(default_factory=list)
+
+    @property
+    def passed(self) -> bool:
+        """Whether the run upheld durability and single ownership."""
+        return not self.violations
+
+    def to_dict(self) -> dict:
+        return {
+            "scenario": self.scenario,
+            "seed": self.seed,
+            "ops": self.ops,
+            "acked": self.acked,
+            "faults_fired": self.faults_fired,
+            "first_attempt_failed": self.first_attempt_failed,
+            "resume_outcomes": self.resume_outcomes,
+            "final_owner": self.final_owner,
+            "stale_owner_rejected": self.stale_owner_rejected,
+            "keys_checked": self.keys_checked,
+            "violations": self.violations,
+            "passed": self.passed,
+        }
+
+
+def check_single_owner(db: LogBase) -> list[str]:
+    """The single-owner invariant, checked against live cluster state.
+
+    For every catalog-assigned tablet, at most one live server may be
+    *willing to serve* it — holding it, unfenced, with a valid ownership
+    lease — and when one is, it must be the catalog owner.  (An owner
+    temporarily unable to serve — dead, mid-flip, lease lapsed — is an
+    availability gap, not a safety violation.)
+    """
+    violations: list[str] = []
+    catalog = db.cluster.master.catalog
+    gated = db.cluster.config.live_migration
+    for tablet_id, owner in catalog.assignments.items():
+        willing = []
+        for server in db.cluster.servers:
+            if not server.machine.alive or not server.serving:
+                continue
+            if tablet_id not in server.tablets:
+                continue
+            if tablet_id in server.migrating_tablets:
+                continue
+            if gated and not server.lease_valid(tablet_id):
+                continue
+            willing.append(server.name)
+        if len(willing) > 1:
+            violations.append(
+                f"single-owner: {tablet_id} served by {sorted(willing)}"
+            )
+        elif willing and willing[0] != owner:
+            violations.append(
+                f"single-owner: {tablet_id} served by {willing[0]}, "
+                f"catalog says {owner}"
+            )
+    return violations
+
+
+def _seeded_cluster(
+    seed: int, ops: int, n_nodes: int, *, n_masters: int = 1
+) -> tuple[LogBase, DurabilityOracle, list[bytes], str]:
+    """A live-migration cluster with every tablet on the source, ``ops``
+    acked writes, and the heartbeat heat snapshot taken.  Returns the id
+    of the tablet the scenarios will migrate (the one covering the most
+    written keys)."""
+    config = LogBaseConfig.with_live_migration(segment_size=64 * 1024)
+    db = LogBase(n_nodes=n_nodes, config=config, n_masters=n_masters)
+    db.create_table(SCHEMA, tablets_per_server=2, only_servers=[SOURCE])
+    oracle = DurabilityOracle()
+    rng = random.Random(seed)
+    keys = [
+        str(v).zfill(KEY_WIDTH).encode()
+        for v in rng.sample(range(KEY_DOMAIN), ops)
+    ]
+    client = db.client(db.cluster.machines[-1])
+    for key in keys:
+        seq, value = oracle.next_value()
+        client.put_raw(TABLE, key, GROUP, value)
+        oracle.record(key, seq, WriteStatus.ACKED)
+    db.cluster.heartbeat()
+    heat = db.cluster.tablet_heat
+    victim_tablet = max(
+        db.cluster.master.catalog.assignments, key=lambda t: heat.get(t, 0.0)
+    )
+    return db, oracle, keys, victim_tablet
+
+
+def _write_during(db: LogBase, oracle: DurabilityOracle, keys: list[bytes]) -> None:
+    """A few more acked writes between fault and convergence — they must
+    survive the interrupted handoff too."""
+    client = db.client(db.cluster.machines[-1])
+    for key in keys:
+        seq, value = oracle.next_value()
+        try:
+            client.put_raw(TABLE, key, GROUP, value)
+            oracle.record(key, seq, WriteStatus.ACKED)
+        except LogBaseError:
+            oracle.record(key, seq, WriteStatus.INDETERMINATE)
+
+
+def _verify(
+    db: LogBase, oracle: DurabilityOracle, report: MigrationChaosReport
+) -> None:
+    for _ in range(2):
+        db.cluster.heartbeat()
+    report.violations.extend(check_single_owner(db))
+    verifier = db.client(db.cluster.machines[-1])
+    report.violations.extend(
+        oracle.verify(lambda key: verifier.get_raw(TABLE, key, GROUP))
+    )
+    report.acked = oracle.counts()["acked"]
+    report.keys_checked = len(oracle.keys)
+
+
+def _crash_source_mid_catchup(
+    db: LogBase,
+    oracle: DurabilityOracle,
+    keys: list[bytes],
+    tablet_id: str,
+    report: MigrationChaosReport,
+) -> None:
+    """The source node dies while the target is still catching up.
+
+    Nothing has flipped, so resume aborts the migration; the restarted
+    source redoes its own log (the database *is* the log) and serves
+    every acked write again once the heartbeat re-grants its lease.
+    """
+    plan = FaultPlan()
+    plan.add(
+        CP_MIGRATION_CATCHUP,
+        kill_action(
+            db.cluster.failures, SOURCE, ServerDownError(f"{SOURCE} died mid-catchup")
+        ),
+        tablet=tablet_id,
+        stage="split",
+    )
+    with fault_plan(plan):
+        try:
+            db.cluster.migrate_tablet(tablet_id, TARGET)
+        except LogBaseError:
+            report.first_attempt_failed = True
+    report.faults_fired = len(plan.fired)
+    db.cluster.restart_server(SOURCE)
+    db.cluster.heartbeat()
+    report.resume_outcomes = db.cluster.resume_migrations()
+
+
+def _crash_target_mid_flip(
+    db: LogBase,
+    oracle: DurabilityOracle,
+    keys: list[bytes],
+    tablet_id: str,
+    report: MigrationChaosReport,
+) -> None:
+    """The target dies inside the fenced flip, before the commit point.
+
+    The source is already fenced (bouncing ops) when the target goes
+    down; resume either finishes the flip with the restarted target —
+    its log already holds the caught-up records — or aborts back to the
+    source.  Both converge to one owner.
+    """
+    plan = FaultPlan()
+    plan.add(
+        CP_MIGRATION_FLIP,
+        kill_action(
+            db.cluster.failures, TARGET, ServerDownError(f"{TARGET} died mid-flip")
+        ),
+        tablet=tablet_id,
+        stage="commit",
+    )
+    with fault_plan(plan):
+        try:
+            db.cluster.migrate_tablet(tablet_id, TARGET)
+        except LogBaseError:
+            report.first_attempt_failed = True
+    report.faults_fired = len(plan.fired)
+    db.cluster.restart_server(TARGET)
+    db.cluster.heartbeat()
+    report.resume_outcomes = db.cluster.resume_migrations()
+
+
+def _master_failover_mid_migration(
+    db: LogBase,
+    oracle: DurabilityOracle,
+    keys: list[bytes],
+    tablet_id: str,
+    report: MigrationChaosReport,
+) -> None:
+    """The active master dies between catch-up and flip.
+
+    The migration record is persisted in the coordination service, so
+    the promoted standby re-reads it and converges — and the deposed
+    master's expired session fences any attempt it might still make to
+    advance the handoff.
+    """
+    old_master = db.cluster.master
+
+    def depose(ctx: dict) -> None:
+        old_master.session.expire()
+        raise SessionExpiredError(f"{old_master.name} deposed mid-migration")
+
+    plan = FaultPlan()
+    plan.add(CP_MIGRATION_CATCHUP, depose, tablet=tablet_id, stage="adopt")
+    with fault_plan(plan):
+        try:
+            db.cluster.migrate_tablet(tablet_id, TARGET)
+        except LogBaseError:
+            report.first_attempt_failed = True
+    report.faults_fired = len(plan.fired)
+    new_master = db.cluster.master
+    if new_master is old_master:
+        report.violations.append("failover: no standby took over the mastership")
+        return
+    _write_during(db, oracle, keys[:5])
+    report.resume_outcomes = db.cluster.resume_migrations()
+    db.cluster.heartbeat()
+
+
+def _partition_old_owner(
+    db: LogBase,
+    oracle: DurabilityOracle,
+    keys: list[bytes],
+    tablet_id: str,
+    report: MigrationChaosReport,
+) -> None:
+    """The old owner is partitioned away exactly as the flip begins.
+
+    The master cannot tell the source to fence itself, so it waits out
+    the ownership lease instead; the isolated source, still alive and
+    still holding the tablet, must *reject* ops once its lease lapses —
+    that rejection is the only thing preventing a double-serve.  After
+    the heal, heartbeat reconciliation quietly reclaims the stale copy.
+    """
+    partitions = db.cluster.config.network.partitions
+    source = db.cluster.server_by_name(SOURCE)
+
+    def cut_off(ctx: dict) -> None:
+        partitions.isolate(source.machine.name)
+
+    plan = FaultPlan()
+    plan.add(CP_MIGRATION_FLIP, cut_off, tablet=tablet_id, stage="begin")
+    with fault_plan(plan):
+        migration = db.cluster.migrate_tablet(tablet_id, TARGET)
+    report.faults_fired = len(plan.fired)
+    if not migration.waited_lease:
+        report.violations.append(
+            "partition: flip did not wait out the unreachable owner's lease"
+        )
+    # The stale owner still holds the tablet but its lease has lapsed: a
+    # client that never heard about the move and reaches it directly must
+    # be bounced, not served.
+    probe = next(k for k in keys if db.cluster.server_by_name(TARGET).tablets[
+        tablet_id
+    ].covers(k))
+    try:
+        source.read(TABLE, probe, GROUP)
+    except TabletMigratingError:
+        report.stale_owner_rejected = True
+    except LogBaseError:
+        pass
+    if not report.stale_owner_rejected:
+        report.violations.append(
+            "partition: lease-lapsed old owner still served a read"
+        )
+    partitions.heal()
+    db.cluster.heartbeat()
+    report.resume_outcomes = db.cluster.resume_migrations()
+
+
+MIGRATION_SCENARIOS = {
+    "crash-source-mid-catchup": _crash_source_mid_catchup,
+    "crash-target-mid-flip": _crash_target_mid_flip,
+    "master-failover-mid-migration": _master_failover_mid_migration,
+    "partition-old-owner": _partition_old_owner,
+}
+
+
+def run_migration_chaos(
+    scenario: str,
+    *,
+    seed: int = 1,
+    ops: int = 40,
+    n_nodes: int = 4,
+) -> MigrationChaosReport:
+    """Run one seeded interrupted-migration schedule; returns the
+    verified report.
+
+    Raises:
+        KeyError: for an unknown scenario name.
+        ValueError: if the cluster is too small for the topology.
+    """
+    runner = MIGRATION_SCENARIOS[scenario]
+    if n_nodes < 3:
+        raise ValueError("migration chaos topology needs >= 3 nodes")
+    n_masters = 2 if scenario == "master-failover-mid-migration" else 1
+    db, oracle, keys, tablet_id = _seeded_cluster(
+        seed, ops, n_nodes, n_masters=n_masters
+    )
+    report = MigrationChaosReport(scenario=scenario, seed=seed, ops=ops)
+    runner(db, oracle, keys, tablet_id, report)
+    report.final_owner = db.cluster.master.catalog.assignments.get(tablet_id, "")
+    _verify(db, oracle, report)
+    return report

@@ -135,6 +135,33 @@ class LogBaseConfig:
         recovery_workers: parallel redo workers (scan + per-tablet
             bring-up lanes) a fast recovery multiplexes over the
             scheduler.
+        live_migration: enable the live-migration subsystem
+            (:mod:`repro.core.migration`): lease-based tablet ownership
+            (renewed by the cluster heartbeat, checked on every client-
+            facing op), the prepare/catch-up/fenced-flip state machine
+            with its intent persisted in znodes, hot-tablet splitting at
+            the median observed key, and the master-side heat balancer.
+            Off by default so the seed figures are reproduced
+            byte-identically; :meth:`with_live_migration` enables it.
+        migration_lease_seconds: ownership lease TTL in simulated
+            seconds.  A server whose lease lapsed (it was partitioned or
+            paused and the heartbeat could not renew) rejects ops with
+            ``TabletMigratingError`` instead of double-serving; a fenced
+            flip against an unreachable owner must wait out at most this
+            long.
+        migration_flip_budget: acceptance bound (simulated seconds) on
+            one migration's fenced-flip window — the only unavailability
+            a live migration may cause.  Benchmarks assert flip p99 stays
+            under it.
+        balancer_skew_threshold: the balancer acts when the hottest
+            server's heat exceeds the coldest's by this factor.
+        balancer_split_fraction: a tablet carrying at least this share of
+            its server's heat is split (its hotspot cannot be fixed by
+            moving the whole tablet) instead of migrated.
+        heat_half_life: half-life in simulated seconds for decaying the
+            master-side ``tablet_heat`` of tablets that are no longer in
+            the catalog's assignments (deleted or replaced by a split) —
+            the balancer must never chase a ghost hotspot.
         tracing: install a :class:`~repro.obs.trace.Tracer` on the
             cluster and open spans at every gated entry point (client
             ops, tablet-server calls, compaction, recovery), attributing
@@ -191,6 +218,12 @@ class LogBaseConfig:
     incremental_compaction: bool = False
     compaction_tier_fanout: int = 4
     compaction_max_input_bytes: int | None = None
+    live_migration: bool = False
+    migration_lease_seconds: float = 0.5
+    migration_flip_budget: float = 2.0
+    balancer_skew_threshold: float = 2.0
+    balancer_split_fraction: float = 0.6
+    heat_half_life: float = 60.0
     tracing: bool = False
     trace_ring: int = 512
     trace_slow_samples: int = 4
@@ -299,6 +332,32 @@ class LogBaseConfig:
             "dfs_degraded_allocation": True,
             "client_retry_limit": 3,
             "fast_recovery": True,
+        }
+        settings.update(overrides)
+        return cls(**settings)
+
+    @classmethod
+    def with_live_migration(cls, **overrides) -> "LogBaseConfig":
+        """A config with the live-migration subsystem enabled on top of
+        the fault-tolerance layer: lease-based tablet ownership, the
+        prepare/catch-up/fenced-flip migration state machine (intent in
+        znodes, fence epochs against stale owners), hot-tablet splitting
+        and the heat balancer.  Ops that land in a flip window get the
+        retryable ``TabletMigratingError``, which the client honors by
+        invalidating its location cache and backing off.
+
+        The plain constructor keeps it off so the seed cost model and
+        figures are reproduced byte-identically; this preset is what the
+        elasticity benchmark (``bench_migration``) and migration chaos
+        schedules run under.
+        """
+        settings: dict = {
+            "dfs_checksum_replicas": True,
+            "dfs_verify_reads": True,
+            "dfs_auto_rereplicate": True,
+            "dfs_degraded_allocation": True,
+            "client_retry_limit": 4,
+            "live_migration": True,
         }
         settings.update(overrides)
         return cls(**settings)
@@ -433,6 +492,16 @@ class LogBaseConfig:
             and self.compaction_max_input_bytes < 1
         ):
             raise ValueError("compaction_max_input_bytes must be >= 1 or None")
+        if self.migration_lease_seconds <= 0:
+            raise ValueError("migration_lease_seconds must be > 0")
+        if self.migration_flip_budget <= 0:
+            raise ValueError("migration_flip_budget must be > 0")
+        if self.balancer_skew_threshold < 1.0:
+            raise ValueError("balancer_skew_threshold must be >= 1")
+        if not 0.0 < self.balancer_split_fraction <= 1.0:
+            raise ValueError("balancer_split_fraction must be in (0, 1]")
+        if self.heat_half_life <= 0:
+            raise ValueError("heat_half_life must be > 0")
         if self.trace_ring < 1:
             raise ValueError("trace_ring must be >= 1")
         if self.trace_slow_samples < 0:

@@ -18,6 +18,7 @@ from repro.core.tablet import Tablet
 from repro.errors import (
     ServerDownError,
     ServerOverloadedError,
+    TabletMigratingError,
     TabletNotFound,
     TabletRecoveringError,
 )
@@ -299,6 +300,20 @@ class Client:
                 if attempts >= self._retry_limit:
                     raise
                 attempts += 1
+                self._machine.counters.add(CLIENT_RETRIES)
+                with span(SPAN_CLIENT_RETRY, self._machine, attempt=attempts):
+                    self._machine.clock.advance(self._backoff(attempts))
+            except TabletMigratingError:
+                # Ownership is (or just was) in motion: the addressed
+                # server is inside a migration's fenced flip window, or
+                # its lease lapsed because the tablet moved away while it
+                # was unreachable.  Either way the cached location may be
+                # stale — drop it, back off, and re-resolve from the
+                # master.
+                if attempts >= self._retry_limit:
+                    raise
+                attempts += 1
+                self.invalidate_cache(table)
                 self._machine.counters.add(CLIENT_RETRIES)
                 with span(SPAN_CLIENT_RETRY, self._machine, attempt=attempts):
                     self._machine.clock.advance(self._backoff(attempts))

@@ -12,6 +12,7 @@ from repro.coordination.tso import TimestampOracle
 from repro.coordination.znodes import CoordinationService
 from repro.core.checkpoint import CheckpointManager
 from repro.core.master import Master, SharedCatalog
+from repro.core.migration import LiveMigrator
 from repro.core.tablet_server import TabletServer
 from repro.dfs.filesystem import DFS
 from repro.obs.trace import Tracer, install_tracer
@@ -86,6 +87,12 @@ class LogBaseCluster:
         # heartbeats.  It survives server crashes (the server's own heat
         # dies with its memory) so fast recovery can order bring-up.
         self.tablet_heat: dict[str, float] = {}
+        # When each heat entry last belonged to an assigned tablet, in
+        # makespan seconds — unassigned ("ghost") entries decay from here.
+        self._heat_seen: dict[str, float] = {}
+        # The migrator is bound to a master's coordination session; it is
+        # rebuilt after a failover so the new master's session fences it.
+        self._migrator: LiveMigrator | None = None
         for machine in self.machines:
             server = TabletServer(
                 f"ts-{machine.name}", machine, self.dfs, self.tso, self.config
@@ -135,6 +142,43 @@ class LogBaseCluster:
             if master.is_active:
                 return master
         return self.masters[0]
+
+    @property
+    def migrator(self) -> LiveMigrator:
+        """The live migrator bound to the *active* master.  After a
+        failover the cached instance's session is expired, so a fresh one
+        is built around the new master — the stale one can no longer
+        advance any migration (its znode writes raise)."""
+        active = self.master
+        if self._migrator is None or self._migrator.master is not active:
+            self._migrator = LiveMigrator(active, self.config)
+        return self._migrator
+
+    def migrate_tablet(self, tablet_id: str, target: str):
+        """Move one tablet.  With ``live_migration`` on this is the
+        lease-fenced online handoff (unavailability bounded to the flip
+        window); off, it falls back to the master's stop-the-tablet move.
+        """
+        if self.config.live_migration:
+            return self.migrator.migrate(tablet_id, target)
+        return self.master.move_tablet(tablet_id, target)
+
+    def split_tablet(self, tablet_id: str, split_key: bytes | None = None):
+        """Split a hot tablet in place (live-migration gate required)."""
+        if not self.config.live_migration:
+            raise ValueError("tablet splitting requires config.live_migration")
+        return self.migrator.split(tablet_id, split_key)
+
+    def resume_migrations(self) -> list[dict]:
+        """Converge interrupted migrations/splits (run after a master
+        failover or an aborted attempt)."""
+        return self.migrator.resume()
+
+    def balance(self) -> list[dict]:
+        """One load-balancer tick over the heartbeat heat snapshot."""
+        if not self.config.live_migration:
+            return []
+        return self.migrator.balance_tick(dict(self.tablet_heat))
 
     def server_by_name(self, name: str) -> TabletServer:
         """Tablet server handle by name."""
@@ -222,6 +266,12 @@ class LogBaseCluster:
         enabled — their tablets are adopted), and run the namenode's
         background re-replication when ``dfs_auto_rereplicate`` is on.
 
+        With live migration enabled the tick also renews ownership leases
+        for reachable live owners (a paused or partitioned server misses
+        its renewals, so its lease lapses and it self-fences) and
+        reconciles stale owners — a rejoined server quietly drops tablets
+        the catalog has since moved elsewhere.
+
         Returns ``{"expired": [names], "rereplicated": count}``.
         """
         expired: list[str] = []
@@ -239,7 +289,64 @@ class LogBaseCluster:
                 for tablet_id, value in server.heat.items():
                     if value > self.tablet_heat.get(tablet_id, 0.0):
                         self.tablet_heat[tablet_id] = value
+        self._decay_ghost_heat()
+        if self.config.live_migration:
+            self._renew_leases()
+            self._reconcile_stale_owners()
         created = 0
         if self.config.dfs_auto_rereplicate:
             created = self.dfs.heartbeat()
         return {"expired": expired, "rereplicated": created}
+
+    def _decay_ghost_heat(self) -> None:
+        """Half-life decay for heat entries whose tablet no longer exists
+        in the catalog (deleted, split away, or renamed by failover) —
+        without it the balancer would chase ghosts forever."""
+        now = self.elapsed_makespan()
+        assignments = self.master.catalog.assignments
+        for tablet_id in list(self.tablet_heat):
+            if tablet_id in assignments:
+                self._heat_seen[tablet_id] = now
+                continue
+            seen = self._heat_seen.setdefault(tablet_id, now)
+            age = now - seen
+            if age <= 0.0:
+                continue
+            decayed = self.tablet_heat[tablet_id] * 0.5 ** (
+                age / self.config.heat_half_life
+            )
+            if decayed < 0.5:
+                del self.tablet_heat[tablet_id]
+                self._heat_seen.pop(tablet_id, None)
+            else:
+                self.tablet_heat[tablet_id] = decayed
+                self._heat_seen[tablet_id] = now
+
+    def _renew_leases(self) -> None:
+        """Re-grant ownership leases to catalog owners the cluster can
+        still reach.  Tablets mid-handoff are skipped — the migrator's
+        fence, not the heartbeat, decides when they serve again."""
+        migrator = self.migrator
+        for tablet_id, owner_name in self.master.catalog.assignments.items():
+            owner = self.master.catalog.servers.get(owner_name)
+            if owner is None or not owner.machine.alive or not owner.serving:
+                continue
+            if tablet_id in owner.migrating_tablets:
+                continue
+            if migrator._majority_reachable(owner):
+                owner.grant_lease(tablet_id)
+
+    def _reconcile_stale_owners(self) -> None:
+        """Drop tablets from servers the catalog no longer assigns them
+        to (e.g. a partitioned ex-owner rejoining after its tablet was
+        migrated away).  Its lapsed lease already kept it from serving;
+        this reclaims the memory."""
+        assignments = self.master.catalog.assignments
+        for server in self.servers:
+            if not server.machine.alive or not server.serving:
+                continue
+            for tablet_id in list(server.tablets):
+                if tablet_id in server.migrating_tablets:
+                    continue
+                if assignments.get(tablet_id) != server.name:
+                    server.unassign_tablet(server.tablets[tablet_id].tablet_id)

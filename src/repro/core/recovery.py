@@ -247,6 +247,9 @@ class SplitLogs:
     """Output of :func:`split_log_by_tablet`."""
 
     paths: dict[str, str] = field(default_factory=dict)  # tablet id -> path
+    # Source-log position right after the last record the scan covered;
+    # a live migration's flip delta re-splits from here.
+    end: LogPointer | None = None
 
 
 def _atomic_write(dfs: DFS, path: str, payload: bytes, machine: Machine) -> None:
@@ -285,6 +288,8 @@ def split_log_by_tablet(
     start: LogPointer | None = None,
     locate=None,
     fence: int | None = None,
+    only_tablet: str | None = None,
+    out_name: str | None = None,
 ) -> SplitLogs:
     """Split a failed server's log into one file per tablet (§3.8).
 
@@ -302,7 +307,16 @@ def split_log_by_tablet(
             whose fence does not match (a crashed splitter leaves the old
             fence — or none — so a retried failover re-splits under a
             fresh epoch before anyone adopts).
+        only_tablet: restrict the split to one tablet id (a live
+            migration catches up exactly the moving tablet; everything
+            else stays where it is).
+        out_name: directory name under ``/logbase/splits/`` the split
+            files (and fence) are written to; defaults to
+            ``failed_server_name``.  A live migration uses a
+            migration-scoped name so its catch-up files never collide
+            with a real failover of the same (still alive) source.
     """
+    out = out_name if out_name is not None else failed_server_name
     failed_log = LogRepository.reattach(
         dfs, splitter, f"/logbase/{failed_server_name}/log"
     )
@@ -317,10 +331,12 @@ def split_log_by_tablet(
         tablet = record.tablet
         if not tablet and locate is not None:
             tablet = locate(record.table, record.key)
+        if only_tablet is not None and tablet != only_tablet:
+            continue
         buffers[tablet].append(record.encode())
-    result = SplitLogs()
+    result = SplitLogs(end=failed_log.end_pointer())
     for tablet_id, frames in sorted(buffers.items()):
-        path = f"/logbase/splits/{failed_server_name}/{tablet_id}/segment-00000001.log"
+        path = f"/logbase/splits/{out}/{tablet_id}/segment-00000001.log"
         tmp = path + ".tmp"
         if dfs.exists(tmp):
             dfs.delete(tmp)
@@ -340,7 +356,7 @@ def split_log_by_tablet(
         # The fence goes in last: it vouches that every split file above
         # belongs to this epoch.  Crashing before this line leaves a
         # stale (or absent) fence and adopters refuse the directory.
-        _atomic_write(dfs, split_fence_path(failed_server_name), str(fence).encode(), splitter)
+        _atomic_write(dfs, split_fence_path(out), str(fence).encode(), splitter)
     return result
 
 

@@ -171,6 +171,13 @@ def format_stats(stats: ClusterStats, tracer=None) -> str:
         "recovery.parallel_runs",
         "recovery.tablets_recovered",
         "recovery.rejected_ops",
+        "migration.started",
+        "migration.completed",
+        "migration.aborted",
+        "migration.records_caught_up",
+        "migration.flip_seconds",
+        "migration.splits",
+        "migration.lease_rejects",
     )
     totals = "  ".join(
         f"{name}={stats.counters.get(name, 0):,.0f}" for name in interesting

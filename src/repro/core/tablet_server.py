@@ -19,7 +19,12 @@ from repro.coordination.tso import TimestampOracle
 from repro.core.read_cache import ReadCache
 from repro.core.tablet import Tablet, TabletId
 from repro.dfs.filesystem import DFS
-from repro.errors import ServerDownError, TabletNotFound, TabletRecoveringError
+from repro.errors import (
+    ServerDownError,
+    TabletMigratingError,
+    TabletNotFound,
+    TabletRecoveringError,
+)
 from repro.index.blink import BLinkTreeIndex
 from repro.index.interface import MultiversionIndex
 from repro.index.lsm import LSMTreeIndex
@@ -29,6 +34,7 @@ from repro.sim.deadline import check_deadline
 from repro.sim.health import AdmissionController
 from repro.sim.machine import Machine
 from repro.sim.metrics import (
+    MIGRATION_LEASE_REJECTS,
     RECOVERY_REJECTED_OPS,
     SPAN_COMPACTION_PLAN,
     SPAN_COMPACTION_ROUND,
@@ -48,6 +54,9 @@ from repro.wal.record import LogPointer, LogRecord, RecordType
 from repro.wal.repository import LogRepository
 
 IndexKey = tuple[str, str]  # (tablet_id str, group name)
+
+# Observed keys retained per tablet for median-split estimation.
+KEY_SAMPLE_CAP = 128
 
 
 class TabletServer:
@@ -110,6 +119,16 @@ class TabletServer:
         # Tablets owned but not yet redone (fast recovery's serve-while-
         # recovering window); ops on them raise TabletRecoveringError.
         self.recovering_tablets: set[str] = set()
+        # Live-migration state (config.live_migration gate; the empty
+        # structures cost nothing on the seed path).  ``migrating_tablets``
+        # holds tablets inside a fenced flip window (ops raise
+        # TabletMigratingError); ``lease_until`` maps tablet id to the
+        # ownership-lease expiry on *this machine's* clock; ``_key_samples``
+        # keeps a bounded deterministic sample of accessed keys per tablet
+        # so a hot tablet can be split at its median observed key.
+        self.migrating_tablets: set[str] = set()
+        self.lease_until: dict[str, float] = {}
+        self._key_samples: dict[str, list[bytes]] = {}
         # Last RecoveryReport this server's recovery produced (stats).
         self.last_recovery = None
         # Per-tablet redo-duration histogram of the last parallel recovery.
@@ -161,10 +180,63 @@ class TabletServer:
             raise TabletRecoveringError(
                 f"tablet {tablet.tablet_id} on {self.name} is still recovering"
             )
+        if self.config.live_migration:
+            tablet_id = str(tablet.tablet_id)
+            if tablet_id in self.migrating_tablets:
+                raise TabletMigratingError(
+                    f"tablet {tablet_id} on {self.name} is mid-handoff"
+                )
+            if not self.lease_valid(tablet_id):
+                # The split-brain guard: a paused or partitioned owner whose
+                # lease the heartbeat could not renew must stop serving —
+                # ownership may already have flipped elsewhere.
+                self.machine.counters.add(MIGRATION_LEASE_REJECTS)
+                raise TabletMigratingError(
+                    f"{self.name} ownership lease for {tablet_id} lapsed"
+                )
 
-    def _touch_heat(self, tablet: Tablet) -> None:
+    # -- live-migration serving state ------------------------------------------------
+
+    def begin_tablet_migration(self, tablet_id) -> None:
+        """Enter the fenced flip window: ops on the tablet are rejected
+        with the retryable :class:`TabletMigratingError` until the handoff
+        commits (or aborts back to this server)."""
+        self.migrating_tablets.add(str(tablet_id))
+
+    def finish_tablet_migration(self, tablet_id) -> None:
+        """Leave the flip window (handoff committed elsewhere or aborted)."""
+        self.migrating_tablets.discard(str(tablet_id))
+
+    def grant_lease(self, tablet_id) -> None:
+        """(Re)grant the ownership lease for one tablet, anchored on this
+        machine's clock — a paused process cannot observe a fresher clock
+        than its own, so expiry is judged where serving happens."""
+        self.lease_until[str(tablet_id)] = (
+            self.machine.clock.now + self.config.migration_lease_seconds
+        )
+
+    def revoke_lease(self, tablet_id) -> None:
+        """Drop the ownership lease (the fenced flip fences a reachable
+        source this way without waiting out the TTL)."""
+        self.lease_until.pop(str(tablet_id), None)
+
+    def lease_valid(self, tablet_id) -> bool:
+        """Whether this server's ownership lease for the tablet is live."""
+        until = self.lease_until.get(str(tablet_id))
+        return until is not None and self.machine.clock.now <= until
+
+    def _touch_heat(self, tablet: Tablet, key: bytes | None = None) -> None:
         tablet_id = str(tablet.tablet_id)
         self.heat[tablet_id] = self.heat.get(tablet_id, 0.0) + 1.0
+        if key is not None and self.config.live_migration:
+            # Deterministic bounded key sample per tablet: fill to the cap,
+            # then overwrite a heat-indexed slot (no RNG — replays are
+            # byte-stable).  The median of the sample is the split key.
+            sample = self._key_samples.setdefault(tablet_id, [])
+            if len(sample) < KEY_SAMPLE_CAP:
+                sample.append(key)
+            else:
+                sample[int(self.heat[tablet_id]) % KEY_SAMPLE_CAP] = key
 
     def crash(self) -> None:
         """Kill the server process: every in-memory structure is lost.
@@ -181,6 +253,9 @@ class TabletServer:
         self.secondary.clear()
         self.heat.clear()
         self.recovering_tablets.clear()
+        self.migrating_tablets.clear()
+        self.lease_until.clear()
+        self._key_samples.clear()
         if self.read_cache is not None:
             self.read_cache.clear()
 
@@ -195,6 +270,13 @@ class TabletServer:
         self.secondary.clear()
         self.heat.clear()
         self.recovering_tablets.clear()
+        # Restarted processes come back lease-less: even though the idle
+        # machine's clock did not advance while it was down, ownership may
+        # have flipped — serving resumes only after the heartbeat (or the
+        # master) grants a fresh lease.
+        self.migrating_tablets.clear()
+        self.lease_until.clear()
+        self._key_samples.clear()
         self.log = LogRepository.reattach(
             self.dfs,
             self.machine,
@@ -221,6 +303,8 @@ class TabletServer:
         self._route_cache.pop(tablet.table, None)
         for group in tablet.schema.group_names:
             self._ensure_index(tablet.tablet_id, group)
+        if self.config.live_migration:
+            self.grant_lease(tablet.tablet_id)
 
     def unassign_tablet(self, tablet_id: TabletId) -> None:
         """Drop a tablet (after reassignment elsewhere)."""
@@ -230,6 +314,63 @@ class TabletServer:
         for key in [k for k in self._indexes if k[0] == str(tablet_id)]:
             del self._indexes[key]
             self._update_counters.pop(key, None)
+        self.revoke_lease(tablet_id)
+        self.migrating_tablets.discard(str(tablet_id))
+        self.heat.pop(str(tablet_id), None)
+        self._key_samples.pop(str(tablet_id), None)
+
+    def split_key(self, tablet_id) -> bytes | None:
+        """Median of the tablet's observed-key sample (None if the sample
+        is too thin to say anything)."""
+        sample = sorted(self._key_samples.get(str(tablet_id), ()))
+        if len(sample) < 2:
+            return None
+        return sample[len(sample) // 2]
+
+    def split_tablet(self, old: Tablet, left: Tablet, right: Tablet) -> int:
+        """Repartition ``old``'s in-memory state into ``left``/``right``.
+
+        The log is untouched — the log *is* the database, so a split only
+        re-buckets index entries by the new ranges (§5's argument for
+        cheap migration applies doubly to splits).  Heat and key samples
+        are divided by observed key side so the balancer's view stays
+        continuous.  Returns the number of index entries moved.
+        """
+        old_id = str(old.tablet_id)
+        self.tablets.pop(old_id, None)
+        self.tablets[str(left.tablet_id)] = left
+        self.tablets[str(right.tablet_id)] = right
+        self._route_cache.pop(old.table, None)
+        moved = 0
+        for group in old.schema.group_names:
+            old_index = self._indexes.pop((old_id, group), None)
+            self._update_counters.pop((old_id, group), None)
+            left_index = self._ensure_index(left.tablet_id, group)
+            right_index = self._ensure_index(right.tablet_id, group)
+            if old_index is None:
+                continue
+            for entry in old_index.entries():
+                side = left_index if left.covers(entry.key) else right_index
+                side.insert(entry.key, entry.timestamp, entry.pointer)
+                moved += 1
+            destroy = getattr(old_index, "destroy", None)
+            if destroy is not None:
+                destroy()
+        old_heat = self.heat.pop(old_id, 0.0)
+        sample = self._key_samples.pop(old_id, [])
+        left_sample = [k for k in sample if left.covers(k)]
+        right_sample = [k for k in sample if not left.covers(k)]
+        left_share = len(left_sample) / len(sample) if sample else 0.5
+        self.heat[str(left.tablet_id)] = old_heat * left_share
+        self.heat[str(right.tablet_id)] = old_heat * (1.0 - left_share)
+        self._key_samples[str(left.tablet_id)] = left_sample
+        self._key_samples[str(right.tablet_id)] = right_sample
+        if self.config.live_migration:
+            self.revoke_lease(old_id)
+            self.grant_lease(left.tablet_id)
+            self.grant_lease(right.tablet_id)
+        self.migrating_tablets.discard(old_id)
+        return moved
 
     def _ensure_index(self, tablet_id: TabletId, group: str) -> MultiversionIndex:
         key = (str(tablet_id), group)
@@ -299,7 +440,7 @@ class TabletServer:
         with span(SPAN_TS_WRITE, self.machine, table=table):
             tablet = self._route(table, key)
             self._check_tablet_serving(tablet)
-            self._touch_heat(tablet)
+            self._touch_heat(tablet, key)
             if timestamp is None:
                 timestamp = self.tso.next_timestamp()
             records = [
@@ -346,7 +487,7 @@ class TabletServer:
             )
         tablet = self._route(table, key)
         self._check_tablet_serving(tablet)
-        self._touch_heat(tablet)
+        self._touch_heat(tablet, key)
         timestamp = self.tso.next_timestamp()
         records = [
             LogRecord(
@@ -394,7 +535,7 @@ class TabletServer:
             for key, group_values in items:
                 tablet = self._route(table, key)
                 self._check_tablet_serving(tablet)
-                self._touch_heat(tablet)
+                self._touch_heat(tablet, key)
                 timestamp = self.tso.next_timestamp()
                 timestamps.append(timestamp)
                 for group, value in group_values.items():
@@ -498,7 +639,7 @@ class TabletServer:
         with span(SPAN_TS_READ, self.machine, table=table, group=group):
             tablet = self._route(table, key)  # reject keys this server no longer owns
             self._check_tablet_serving(tablet)
-            self._touch_heat(tablet)
+            self._touch_heat(tablet, key)
             if self.read_cache is not None:
                 cached = self.read_cache.get(table, group, key)
                 if cached is not None:
@@ -544,7 +685,7 @@ class TabletServer:
         with span(SPAN_TS_DELETE, self.machine, table=table, group=group):
             tablet = self._route(table, key)
             self._check_tablet_serving(tablet)
-            self._touch_heat(tablet)
+            self._touch_heat(tablet, key)
             timestamp = self.tso.next_timestamp()
             index = self._ensure_index(tablet.tablet_id, group)
             removed = index.delete_key(key)

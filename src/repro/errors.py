@@ -197,5 +197,18 @@ class TabletRecoveringError(ClusterError):
     remaining recovery window."""
 
 
+class TabletMigratingError(ClusterError):
+    """The addressed tablet is mid-handoff: either this server is inside
+    the brief fenced flip window of a live migration (or split), or its
+    ownership lease has lapsed and it must not serve until the master
+    re-grants one.  Retryable: the client invalidates its location cache
+    (ownership may have moved) and re-resolves after backoff."""
+
+
+class MigrationError(ClusterError):
+    """A live tablet migration could not complete (the state machine
+    aborted or hit an unrecoverable precondition)."""
+
+
 class RecoveryError(ClusterError):
     """Recovery of a failed tablet server could not complete."""

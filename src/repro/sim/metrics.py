@@ -180,6 +180,29 @@ RECOVERY_ADOPT_SKIPPED = REGISTRY.register("recovery.adopt_skipped")
 SPAN_RECOVERY_TABLET = REGISTRY.register("recovery.tablet_redo")
 HIST_RECOVERY_TABLET_SECONDS = REGISTRY.register("latency.recovery.tablet")
 
+# Canonical names for live tablet migration (PR 9).
+# ``migration.started/completed/aborted`` count state-machine outcomes,
+# ``migration.records_caught_up`` counts records the target replayed from
+# the source's shared-DFS log (catch-up plus flip delta),
+# ``migration.flip_seconds`` accumulates the fenced-flip windows (the only
+# unavailability a migration causes; per-flip distribution is the
+# ``latency.migration.flip`` histogram), ``migration.splits`` counts
+# hot-tablet splits, ``migration.balancer_moves`` counts actions the load
+# balancer initiated, and ``migration.lease_rejects`` counts ops bounced
+# off a server whose ownership lease had lapsed (the split-brain guard).
+MIGRATION_STARTED = REGISTRY.register("migration.started")
+MIGRATION_COMPLETED = REGISTRY.register("migration.completed")
+MIGRATION_ABORTED = REGISTRY.register("migration.aborted")
+MIGRATION_RECORDS_CAUGHT_UP = REGISTRY.register("migration.records_caught_up")
+MIGRATION_FLIP_SECONDS = REGISTRY.register("migration.flip_seconds")
+MIGRATION_SPLITS = REGISTRY.register("migration.splits")
+MIGRATION_BALANCER_MOVES = REGISTRY.register("migration.balancer_moves")
+MIGRATION_LEASE_REJECTS = REGISTRY.register("migration.lease_rejects")
+SPAN_MIGRATION_MIGRATE = REGISTRY.register("migration.migrate")
+SPAN_MIGRATION_CATCHUP_PHASE = REGISTRY.register("migration.catchup_phase")
+SPAN_MIGRATION_FLIP_PHASE = REGISTRY.register("migration.flip_phase")
+HIST_MIGRATION_FLIP = REGISTRY.register("latency.migration.flip")
+
 REGISTRY.freeze()
 
 
