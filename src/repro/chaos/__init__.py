@@ -23,6 +23,12 @@ from repro.chaos.recovery import (
     RecoveryChaosReport,
     run_recovery_chaos,
 )
+from repro.chaos.replica import (
+    REPLICA_SCENARIOS,
+    ReplicaChaosReport,
+    StalenessChecker,
+    run_replica_chaos,
+)
 from repro.chaos.runner import ChaosReport, run_chaos
 from repro.chaos.schedules import SCHEDULES, ChaosSchedule
 
@@ -35,12 +41,16 @@ __all__ = [
     "MIGRATION_SCENARIOS",
     "MigrationChaosReport",
     "RECOVERY_SCENARIOS",
+    "REPLICA_SCENARIOS",
     "RecoveryChaosReport",
+    "ReplicaChaosReport",
     "SCHEDULES",
+    "StalenessChecker",
     "WriteStatus",
     "check_single_owner",
     "run_chaos",
     "run_gray",
     "run_migration_chaos",
     "run_recovery_chaos",
+    "run_replica_chaos",
 ]

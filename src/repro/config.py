@@ -162,6 +162,29 @@ class LogBaseConfig:
             master-side ``tablet_heat`` of tablets that are no longer in
             the catalog's assignments (deleted or replaced by a split) —
             the balancer must never chase a ghost hotspot.
+        read_replicas: enable log-shipping read replicas
+            (:mod:`repro.core.follower`): non-owner servers tail the
+            owner's log segments straight from the replicated DFS,
+            maintain their own multiversion indexes, and serve
+            bounded-staleness reads; the client spreads read traffic
+            across followers and falls back to the owner on
+            ``FollowerLaggingError``.  Off by default so the seed figures
+            are reproduced byte-identically; :meth:`with_read_replicas`
+            enables it.
+        replicas_per_tablet: followers the master places per tablet (on
+            distinct non-owner servers; capped by cluster size).
+        replica_max_staleness: default per-read staleness bound in
+            simulated seconds — a follower whose watermark is older than
+            the owner's last-commit time minus this bound rejects the
+            read with ``FollowerLaggingError`` (per-request override via
+            the client API).
+        replica_tail_batch: max log records a follower applies per tail
+            pass (bounds one heartbeat's catch-up work; lag beyond it is
+            worked off over subsequent passes).
+        replica_read_fraction: share of eligible reads the client routes
+            to followers (1.0 = all reads try a follower first); writes
+            and historical ``as_of`` reads below the watermark still go
+            wherever correctness requires.
         tracing: install a :class:`~repro.obs.trace.Tracer` on the
             cluster and open spans at every gated entry point (client
             ops, tablet-server calls, compaction, recovery), attributing
@@ -224,6 +247,11 @@ class LogBaseConfig:
     balancer_skew_threshold: float = 2.0
     balancer_split_fraction: float = 0.6
     heat_half_life: float = 60.0
+    read_replicas: bool = False
+    replicas_per_tablet: int = 1
+    replica_max_staleness: float = 5.0
+    replica_tail_batch: int = 512
+    replica_read_fraction: float = 1.0
     tracing: bool = False
     trace_ring: int = 512
     trace_slow_samples: int = 4
@@ -358,6 +386,34 @@ class LogBaseConfig:
             "dfs_degraded_allocation": True,
             "client_retry_limit": 4,
             "live_migration": True,
+        }
+        settings.update(overrides)
+        return cls(**settings)
+
+    @classmethod
+    def with_read_replicas(cls, **overrides) -> "LogBaseConfig":
+        """A config with log-shipping read replicas enabled on top of the
+        live-migration stack (followers are fenced through the same
+        epochs a migration uses, so ownership changes and replica
+        tear-down share one mechanism): the master places followers on
+        non-owner servers, each follower tails the owner's log segments
+        from the replicated DFS into its own index, and the client
+        spreads reads across followers with owner fallback on
+        ``FollowerLaggingError``.
+
+        The plain constructor keeps it off so the seed cost model and
+        figures are reproduced byte-identically; this preset is what the
+        replica benchmark (``bench_replicas``) and replica chaos
+        schedules run under.
+        """
+        settings: dict = {
+            "dfs_checksum_replicas": True,
+            "dfs_verify_reads": True,
+            "dfs_auto_rereplicate": True,
+            "dfs_degraded_allocation": True,
+            "client_retry_limit": 4,
+            "live_migration": True,
+            "read_replicas": True,
         }
         settings.update(overrides)
         return cls(**settings)
@@ -502,6 +558,21 @@ class LogBaseConfig:
             raise ValueError("balancer_split_fraction must be in (0, 1]")
         if self.heat_half_life <= 0:
             raise ValueError("heat_half_life must be > 0")
+        if self.read_replicas and not self.live_migration:
+            raise ValueError(
+                "read_replicas requires live_migration (followers are "
+                "fenced through migration epochs)"
+            )
+        if self.replicas_per_tablet < 0:
+            # 0 is legal under the gate: the replica benchmark's baseline
+            # arm runs the same config with no followers placed.
+            raise ValueError("replicas_per_tablet must be >= 0")
+        if self.replica_max_staleness <= 0:
+            raise ValueError("replica_max_staleness must be > 0")
+        if self.replica_tail_batch < 1:
+            raise ValueError("replica_tail_batch must be >= 1")
+        if not 0.0 <= self.replica_read_fraction <= 1.0:
+            raise ValueError("replica_read_fraction must be in [0, 1]")
         if self.trace_ring < 1:
             raise ValueError("trace_ring must be >= 1")
         if self.trace_slow_samples < 0:

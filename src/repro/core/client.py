@@ -16,6 +16,7 @@ from repro.core.master import Master
 from repro.core.schema import decode_group_value, encode_group_value
 from repro.core.tablet import Tablet
 from repro.errors import (
+    FollowerLaggingError,
     ServerDownError,
     ServerOverloadedError,
     TabletMigratingError,
@@ -64,6 +65,17 @@ class Client:
         tracing: open a root span per client operation (put/get/delete/
             scan); requires a tracer installed by the cluster to record
             anything.
+        read_replicas: route eligible reads across the tablet's follower
+            replicas (deterministic rotation that includes the owner),
+            falling back to the owner when a follower is lagging or down.
+            The rotation composes with the breakers above: a limping
+            follower's reads still pay its breaker cooldown, biasing the
+            client away from it.
+        replica_read_fraction: share of reads eligible for follower
+            routing (a YCSB-style 95/5 workload keeps its 5% of writes
+            and any fraction-excluded reads on the owner).
+        replica_max_staleness: per-request staleness bound forwarded to
+            followers; None uses the server-side configured default.
     """
 
     def __init__(
@@ -76,6 +88,9 @@ class Client:
         op_deadline: float | None = None,
         gray_policy: GrayPolicy | None = None,
         tracing: bool = False,
+        read_replicas: bool = False,
+        replica_read_fraction: float = 1.0,
+        replica_max_staleness: float | None = None,
     ) -> None:
         self._master = master
         self._machine = machine
@@ -91,6 +106,14 @@ class Client:
         )
         # table -> list of (server name, tablet), cached after first lookup
         self._locations: dict[str, list[tuple[str, Tablet]]] = {}
+        self._read_replicas = read_replicas
+        self._replica_read_fraction = replica_read_fraction
+        self._replica_max_staleness = replica_max_staleness
+        # table -> {tablet id: [follower server names]}, cached like
+        # ``_locations`` and invalidated alongside it on ownership change.
+        self._follower_routes: dict[str, dict[str, list[str]]] = {}
+        # Deterministic read-rotation counter (no RNG: replays are stable).
+        self._replica_seq = 0
         self.last_op_seconds = 0.0
 
     def _op_span(self, name: str, **attrs):
@@ -122,6 +145,98 @@ class Client:
             self._locations.clear()
         else:
             self._locations.pop(table, None)
+
+    def invalidate_follower_routes(self, table: str | None = None) -> None:
+        """Drop cached follower routes.
+
+        Called alongside owner-route invalidation on
+        :class:`TabletMigratingError`: an ownership change tears the
+        tablet's followers down under a bumped fence epoch, so a cached
+        route would keep sending reads to a torn-down (or re-pointing)
+        follower until every read redirected — re-resolving from the
+        master picks up the re-placed followers instead."""
+        if table is None:
+            self._follower_routes.clear()
+        else:
+            self._follower_routes.pop(table, None)
+
+    def _follower_route(self, table: str, tablet_id: str) -> list[str]:
+        routes = self._follower_routes.get(table)
+        if routes is None:
+            # One metadata RPC to the master, then cached (same contract
+            # as the owner-location cache).
+            self._machine.clock.advance(
+                self._machine.network.rpc_cost(_REQUEST_OVERHEAD, 1024)
+            )
+            routes = self._master.follower_locations(table)
+            self._follower_routes[table] = routes
+        return routes.get(tablet_id, [])
+
+    def _pick_follower(self, table: str, key: bytes) -> str | None:
+        """The follower a replica-routed read should try, or None for the
+        owner.
+
+        Deterministic rotation over ``followers + [owner]`` — including
+        the owner keeps it serving its fair share instead of idling while
+        followers saturate — with ``replica_read_fraction`` carving out
+        the reads that must stay on the owner entirely."""
+        seq = self._replica_seq
+        self._replica_seq += 1
+        if (seq % 100) >= int(self._replica_read_fraction * 100):
+            return None
+        owner_name, tablet = self._locate(table, key)
+        followers = self._follower_route(table, str(tablet.tablet_id))
+        if not followers:
+            return None
+        rotation = followers + [owner_name]
+        name = rotation[seq % len(rotation)]
+        return None if name == owner_name else name
+
+    def _replica_read(
+        self, table: str, key: bytes, group: str, *, as_of: int | None
+    ) -> tuple[int, bytes] | None:
+        """Bounded-staleness read: try the rotation's follower once, fall
+        back to the owner on lag or failure.
+
+        A lagging follower stays in rotation (lag is transient — the next
+        heartbeat advances its tail); a dead one drops out when the
+        follower routes are refreshed."""
+        request = _REQUEST_OVERHEAD + len(key)
+        follower_name = self._pick_follower(table, key)
+        if follower_name is not None:
+            try:
+                server = self._master.server(follower_name)
+            except KeyError:
+                self.invalidate_follower_routes(table)
+                server = None
+            if server is not None:
+                deadline = (
+                    Deadline.after(self._machine.clock, self._op_deadline)
+                    if self._op_deadline is not None
+                    else None
+                )
+                try:
+                    return self._call(
+                        server, request, 1024,
+                        lambda: server.follower_read(
+                            table, key, group,
+                            as_of=as_of,
+                            max_staleness=self._replica_max_staleness,
+                        ),
+                        table=table,
+                        deadline=deadline,
+                    )
+                except (FollowerLaggingError, ServerOverloadedError):
+                    pass  # owner fallback; the follower stays in rotation
+                except (ServerDownError, TabletNotFound, TabletMigratingError):
+                    # _call already dropped the owner-location cache on
+                    # ServerDownError; the follower routes are just as
+                    # suspect.
+                    self.invalidate_follower_routes(table)
+        return self._routed_call(
+            table, key, request, 1024,
+            lambda srv: lambda: srv.read(table, key, group, as_of=as_of),
+        )
 
     def _server_for(self, table: str, key: bytes):
         name, _ = self._locate(table, key)
@@ -314,6 +429,11 @@ class Client:
                     raise
                 attempts += 1
                 self.invalidate_cache(table)
+                # The fence-epoch bump behind this error also tore down the
+                # tablet's followers — a cached follower route would keep
+                # pointing reads at them (mirrors the owner-route
+                # invalidation above).
+                self.invalidate_follower_routes(table)
                 self._machine.counters.add(CLIENT_RETRIES)
                 with span(SPAN_CLIENT_RETRY, self._machine, attempt=attempts):
                     self._machine.clock.advance(self._backoff(attempts))
@@ -343,10 +463,13 @@ class Client:
     ) -> dict[str, bytes] | None:
         """Read one column group of a record; None if absent."""
         with self._op_span("op.get", table=table, group=group):
-            result = self._routed_call(
-                table, key, _REQUEST_OVERHEAD + len(key), 1024,
-                lambda server: lambda: server.read(table, key, group, as_of=as_of),
-            )
+            if self._read_replicas:
+                result = self._replica_read(table, key, group, as_of=as_of)
+            else:
+                result = self._routed_call(
+                    table, key, _REQUEST_OVERHEAD + len(key), 1024,
+                    lambda server: lambda: server.read(table, key, group, as_of=as_of),
+                )
         if result is None:
             return None
         _, value = result
@@ -424,6 +547,13 @@ class Client:
                 continue
             if end_key <= tablet.key_range.start:
                 continue
+            if self._read_replicas:
+                rows = self._replica_scan_tablet(
+                    table, group, tablet, server_name, start_key, end_key, as_of
+                )
+                for key, _, value in rows:
+                    results.append((key, value))
+                continue
             server = self._master.server(server_name)
             deadline = (
                 Deadline.after(self._machine.clock, self._op_deadline)
@@ -442,6 +572,79 @@ class Client:
                 results.append((key, value))
         results.sort(key=lambda pair: pair[0])
         return results
+
+    def _replica_scan_tablet(
+        self,
+        table: str,
+        group: str,
+        tablet: Tablet,
+        owner_name: str,
+        start_key: bytes,
+        end_key: bytes,
+        as_of: int | None,
+    ) -> list[tuple[bytes, int, bytes]]:
+        """Scan one tablet's slice of a range, preferring a follower.
+
+        The range is clipped to the tablet before either side runs it —
+        follower and owner both host multiple tablets of the table, so an
+        unclipped range would return neighbouring tablets' rows once per
+        hosting server."""
+        sub_start = max(start_key, tablet.key_range.start)
+        sub_end = (
+            end_key
+            if tablet.key_range.end is None
+            else min(end_key, tablet.key_range.end)
+        )
+        seq = self._replica_seq
+        self._replica_seq += 1
+        follower_name: str | None = None
+        if (seq % 100) < int(self._replica_read_fraction * 100):
+            followers = self._follower_route(table, str(tablet.tablet_id))
+            if followers:
+                rotation = followers + [owner_name]
+                picked = rotation[seq % len(rotation)]
+                follower_name = None if picked == owner_name else picked
+        if follower_name is not None:
+            try:
+                server = self._master.server(follower_name)
+            except KeyError:
+                self.invalidate_follower_routes(table)
+                server = None
+            if server is not None:
+                deadline = (
+                    Deadline.after(self._machine.clock, self._op_deadline)
+                    if self._op_deadline is not None
+                    else None
+                )
+                try:
+                    return self._call(
+                        server, _REQUEST_OVERHEAD, 4096,
+                        lambda: server.follower_scan(
+                            table, group, sub_start, sub_end,
+                            as_of=as_of,
+                            max_staleness=self._replica_max_staleness,
+                        ),
+                        table=table,
+                        deadline=deadline,
+                    )
+                except (FollowerLaggingError, ServerOverloadedError):
+                    pass
+                except (ServerDownError, TabletNotFound, TabletMigratingError):
+                    self.invalidate_follower_routes(table)
+        owner = self._master.server(owner_name)
+        deadline = (
+            Deadline.after(self._machine.clock, self._op_deadline)
+            if self._op_deadline is not None
+            else None
+        )
+        return self._call(
+            owner, _REQUEST_OVERHEAD, 4096,
+            lambda: list(
+                owner.range_scan(table, group, sub_start, sub_end, as_of=as_of)
+            ),
+            table=table,
+            deadline=deadline,
+        )
 
     # -- raw byte API (benchmarks; payloads are opaque 1 KB blobs) ---------------------------
 
@@ -505,10 +708,13 @@ class Client:
     ) -> bytes | None:
         """Read one opaque group payload."""
         with self._op_span("op.get", table=table, group=group):
-            result = self._routed_call(
-                table, key, _REQUEST_OVERHEAD + len(key), 1024,
-                lambda server: lambda: server.read(table, key, group, as_of=as_of),
-            )
+            if self._read_replicas:
+                result = self._replica_read(table, key, group, as_of=as_of)
+            else:
+                result = self._routed_call(
+                    table, key, _REQUEST_OVERHEAD + len(key), 1024,
+                    lambda server: lambda: server.read(table, key, group, as_of=as_of),
+                )
         return None if result is None else result[1]
 
     def scan_raw(

@@ -15,11 +15,12 @@ from repro.core.master import Master, SharedCatalog
 from repro.core.migration import LiveMigrator
 from repro.core.tablet_server import TabletServer
 from repro.dfs.filesystem import DFS
+from repro.obs.hist import Histogram
 from repro.obs.trace import Tracer, install_tracer
 from repro.sim.clock import makespan
 from repro.sim.failure import FailureInjector
 from repro.sim.machine import Machine
-from repro.sim.metrics import Counters
+from repro.sim.metrics import HIST_REPLICA_LAG, Counters
 
 
 class LogBaseCluster:
@@ -93,6 +94,12 @@ class LogBaseCluster:
         # The migrator is bound to a master's coordination session; it is
         # rebuilt after a failover so the new master's session fences it.
         self._migrator: LiveMigrator | None = None
+        # Heartbeat-reported replication lag across every hosted replica
+        # (read_replicas gate; None otherwise so the seed path allocates
+        # nothing).
+        self.replica_lag_histogram: Histogram | None = (
+            Histogram(HIST_REPLICA_LAG) if self.config.read_replicas else None
+        )
         for machine in self.machines:
             server = TabletServer(
                 f"ts-{machine.name}", machine, self.dfs, self.tso, self.config
@@ -293,10 +300,18 @@ class LogBaseCluster:
         if self.config.live_migration:
             self._renew_leases()
             self._reconcile_stale_owners()
+        replica_lags: dict[str, float] = {}
+        if self.config.read_replicas:
+            self._place_followers()
+            replica_lags = self._tail_followers()
         created = 0
         if self.config.dfs_auto_rereplicate:
             created = self.dfs.heartbeat()
-        return {"expired": expired, "rereplicated": created}
+        return {
+            "expired": expired,
+            "rereplicated": created,
+            "replica_lags": replica_lags,
+        }
 
     def _decay_ghost_heat(self) -> None:
         """Half-life decay for heat entries whose tablet no longer exists
@@ -335,6 +350,80 @@ class LogBaseCluster:
                 continue
             if migrator._majority_reachable(owner):
                 owner.grant_lease(tablet_id)
+
+    def _place_followers(self) -> None:
+        """Maintain the read-replica placement (read_replicas gate).
+
+        For every assigned tablet, pick up to ``replicas_per_tablet``
+        follower servers deterministically — the sorted live non-owners,
+        rotated by the tablet's ordinal so replicas spread across the
+        cluster — record the placement in the shared catalog (the client
+        routes off it), and converge the servers: subscribe the desired
+        followers under the tablet's current fence epoch, tear down the
+        rest.  An ownership change bumps the epoch and the migrator drops
+        the tablet's placement, so this pass re-points the followers at
+        the new owner — they never keep applying a deposed owner's
+        post-fence records.
+        """
+        catalog = self.master.catalog
+        live = [
+            name
+            for name in self.master.live_servers()
+            if (server := catalog.servers.get(name)) is not None
+            and server.machine.alive
+            and server.serving
+        ]
+        desired_by_server: dict[str, dict[str, tuple]] = {name: {} for name in live}
+        assignments = sorted(catalog.assignments.items())
+        for ordinal, (tablet_id, owner_name) in enumerate(assignments):
+            candidates = [name for name in live if name != owner_name]
+            if not candidates or self.config.replicas_per_tablet < 1:
+                catalog.followers.pop(tablet_id, None)
+                continue
+            rotated = (
+                candidates[ordinal % len(candidates):]
+                + candidates[: ordinal % len(candidates)]
+            )
+            desired = rotated[: self.config.replicas_per_tablet]
+            catalog.followers[tablet_id] = desired
+            epoch = catalog.fence_epochs.get(f"mig-{tablet_id}", 0)
+            try:
+                tablet = self.master._tablet_by_id(tablet_id)
+            except Exception:
+                catalog.followers.pop(tablet_id, None)
+                continue
+            for name in desired:
+                desired_by_server[name][tablet_id] = (tablet, owner_name, epoch)
+        # Placements for tablets that no longer exist in the catalog.
+        for tablet_id in list(catalog.followers):
+            if tablet_id not in catalog.assignments:
+                del catalog.followers[tablet_id]
+        for name in live:
+            server = catalog.servers[name]
+            desired = desired_by_server.get(name, {})
+            for tablet_id in list(server.followers):
+                if tablet_id not in desired:
+                    server.unfollow_tablet(tablet_id)
+            for tablet_id, (tablet, owner_name, epoch) in desired.items():
+                server.follow_tablet(tablet, owner_name, epoch)
+
+    def _tail_followers(self) -> dict[str, float]:
+        """One tail pass on every live follower server; records each
+        replica's pre-pass staleness into the lag histogram and returns
+        the worst lag per tablet (the heartbeat-reported lag)."""
+        worst: dict[str, float] = {}
+        for server in self.servers:
+            if not server.machine.alive or not server.serving:
+                continue
+            if not server.followers:
+                continue
+            lags = server.tail_followed_logs()
+            for tablet_id, lag in lags.items():
+                if tablet_id not in worst or lag > worst[tablet_id]:
+                    worst[tablet_id] = lag
+                if self.replica_lag_histogram is not None and lag != float("inf"):
+                    self.replica_lag_histogram.record(lag)
+        return worst
 
     def _reconcile_stale_owners(self) -> None:
         """Drop tablets from servers the catalog no longer assigns them

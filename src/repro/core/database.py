@@ -82,6 +82,9 @@ class LogBase:
             op_deadline=config.op_deadline if config.gray_resilience else None,
             gray_policy=config.gray_policy(),
             tracing=config.tracing,
+            read_replicas=config.read_replicas,
+            replica_read_fraction=config.replica_read_fraction,
+            replica_max_staleness=config.replica_max_staleness,
         )
 
     def begin(self) -> Transaction:

@@ -52,6 +52,9 @@ class SharedCatalog:
     # Split-fence epoch per (dead or moving) server: bumped before each
     # log split so adopters can reject a crashed splitter's stale files.
     fence_epochs: dict[str, int] = field(default_factory=dict)
+    # Read-replica placement: tablet id -> follower server names (empty
+    # unless config.read_replicas; maintained by the cluster heartbeat).
+    followers: dict[str, list[str]] = field(default_factory=dict)
 
 
 @dataclass
@@ -213,6 +216,14 @@ class Master:
         return [
             (self._assignments[str(t.tablet_id)], t) for t in self.tablets(table)
         ]
+
+    def follower_locations(self, table: str) -> dict[str, list[str]]:
+        """tablet id -> follower server names for every tablet of ``table``
+        (read-replica routing; empty lists when no followers are placed)."""
+        return {
+            str(t.tablet_id): list(self.catalog.followers.get(str(t.tablet_id), ()))
+            for t in self.tablets(table)
+        }
 
     # -- failover --------------------------------------------------------------------------------
 

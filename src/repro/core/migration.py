@@ -428,6 +428,16 @@ class LiveMigrator:
         source = self._server(rec["source"])
         target.finish_tablet_migration(tablet_id)
         target.grant_lease(tablet_id)
+        if self.config.read_replicas:
+            # Ownership changed under a bumped fence epoch: tear the
+            # tablet's read replicas down right now so none keeps applying
+            # the deposed owner's log.  The next heartbeat re-places them
+            # against the new owner.
+            catalog = self.master.catalog
+            for follower_name in catalog.followers.pop(tablet_id, []):
+                follower_server = catalog.servers.get(follower_name)
+                if follower_server is not None:
+                    follower_server.unfollow_tablet(tablet_id)
         if (
             source is not None
             and source.machine.alive

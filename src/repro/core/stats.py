@@ -48,6 +48,7 @@ class ServerStats:
     counters: dict[str, float] = field(default_factory=dict)
     recovering_tablets: int = 0  # tablets owned but not yet redone
     last_recovery: dict | None = None  # RecoveryReport.to_dict() of last pass
+    follower_tablets: int = 0  # read replicas hosted for tablets owned elsewhere
 
 
 @dataclass(frozen=True)
@@ -100,6 +101,7 @@ def collect_server_stats(server: TabletServer) -> ServerStats:
             if server.last_recovery is not None
             else None
         ),
+        follower_tablets=len(server.followers),
     )
 
 
@@ -178,6 +180,10 @@ def format_stats(stats: ClusterStats, tracer=None) -> str:
         "migration.flip_seconds",
         "migration.splits",
         "migration.lease_rejects",
+        "replica.reads_served",
+        "replica.redirects",
+        "replica.lag_records",
+        "replica.tail_batches",
     )
     totals = "  ".join(
         f"{name}={stats.counters.get(name, 0):,.0f}" for name in interesting

@@ -16,10 +16,14 @@ from itertools import islice
 
 from repro.config import LogBaseConfig
 from repro.coordination.tso import TimestampOracle
+from repro.core.follower import FollowerTablet, LogTailer
 from repro.core.read_cache import ReadCache
 from repro.core.tablet import Tablet, TabletId
 from repro.dfs.filesystem import DFS
 from repro.errors import (
+    DFSError,
+    FollowerLaggingError,
+    InvalidLogPointer,
     ServerDownError,
     TabletMigratingError,
     TabletNotFound,
@@ -36,8 +40,11 @@ from repro.sim.machine import Machine
 from repro.sim.metrics import (
     MIGRATION_LEASE_REJECTS,
     RECOVERY_REJECTED_OPS,
+    REPLICA_READS_SERVED,
+    REPLICA_REDIRECTS,
     SPAN_COMPACTION_PLAN,
     SPAN_COMPACTION_ROUND,
+    SPAN_FOLLOWER_READ,
     SPAN_TS_APPEND_TXN,
     SPAN_TS_DELETE,
     SPAN_TS_READ,
@@ -129,6 +136,13 @@ class TabletServer:
         self.migrating_tablets: set[str] = set()
         self.lease_until: dict[str, float] = {}
         self._key_samples: dict[str, list[bytes]] = {}
+        # Read-replica state (config.read_replicas gate; both dicts stay
+        # empty — and cost nothing — on the seed path).  ``followers``
+        # maps tablet id to the replica this server hosts for a tablet it
+        # does NOT own; ``_tailers`` shares one log tailer per owner
+        # because an owner keeps a single log for all its tablets.
+        self.followers: dict[str, FollowerTablet] = {}
+        self._tailers: dict[str, LogTailer] = {}
         # Last RecoveryReport this server's recovery produced (stats).
         self.last_recovery = None
         # Per-tablet redo-duration histogram of the last parallel recovery.
@@ -225,6 +239,222 @@ class TabletServer:
         until = self.lease_until.get(str(tablet_id))
         return until is not None and self.machine.clock.now <= until
 
+    # -- read-replica (follower) serving ---------------------------------------------
+
+    def follow_tablet(
+        self, tablet: Tablet, owner_name: str, epoch: int
+    ) -> FollowerTablet:
+        """Host a read replica of ``tablet``, tailing ``owner_name``'s log.
+
+        Idempotent for an unchanged (owner, epoch): the heartbeat calls
+        this every pass.  A changed owner or a bumped fence epoch tears
+        the old replica down and starts a fresh one — a follower must
+        never keep applying a deposed owner's post-fence records.
+        """
+        self._require_serving()
+        tablet_id = str(tablet.tablet_id)
+        existing = self.followers.get(tablet_id)
+        if (
+            existing is not None
+            and existing.owner_name == owner_name
+            and existing.epoch == epoch
+        ):
+            return existing
+        if existing is not None:
+            self.unfollow_tablet(tablet_id)
+        tailer = self._tailers.get(owner_name)
+        if tailer is None:
+            tailer = LogTailer(self.dfs, self.machine, owner_name, self.config)
+            self._tailers[owner_name] = tailer
+        follower = FollowerTablet(tablet, owner_name, epoch)
+        tailer.subscribe(follower)
+        self.followers[tablet_id] = follower
+        return follower
+
+    def unfollow_tablet(self, tablet_id) -> None:
+        """Tear down the replica of one tablet (ownership changed, the
+        placement moved it elsewhere, or this server was promoted)."""
+        tablet_id = str(tablet_id)
+        follower = self.followers.pop(tablet_id, None)
+        if follower is None:
+            return
+        tailer = self._tailers.get(follower.owner_name)
+        if tailer is not None:
+            tailer.unsubscribe(tablet_id)
+            if not tailer.members:
+                del self._tailers[follower.owner_name]
+
+    def tail_followed_logs(self) -> dict[str, float]:
+        """One tail pass over every followed owner's log (heartbeat-driven).
+
+        Returns the staleness each hosted replica had just *before* the
+        pass, keyed by tablet id — the heartbeat-reported lag (``inf``
+        for a replica that has never fully drained its owner's log)."""
+        self._require_serving()
+        now = self.machine.clock.now
+        lags = {
+            str(f.tablet.tablet_id): f.lag(now) for f in self.followers.values()
+        }
+        for tailer in self._tailers.values():
+            tailer.tail(self.config.replica_tail_batch)
+        return lags
+
+    def _follower_for(self, table: str, key: bytes) -> FollowerTablet:
+        for follower in self.followers.values():
+            if follower.tablet.table == table and follower.tablet.covers(key):
+                return follower
+        self.machine.counters.add(REPLICA_REDIRECTS)
+        raise FollowerLaggingError(
+            f"{self.name} hosts no replica covering {table}:{key!r}"
+        )
+
+    def _check_follower_serving(
+        self,
+        follower: FollowerTablet,
+        *,
+        as_of: int | None,
+        max_staleness: float | None,
+    ) -> None:
+        """The follower-mode op gate (next to the recovery/migration
+        gates): a replica serves only inside its staleness bound."""
+        limit = (
+            max_staleness
+            if max_staleness is not None
+            else self.config.replica_max_staleness
+        )
+        lag = follower.lag(self.machine.clock.now)
+        if lag > limit:
+            self.machine.counters.add(REPLICA_REDIRECTS)
+            raise FollowerLaggingError(
+                f"replica of {follower.tablet.tablet_id} on {self.name} is "
+                f"{lag:.3f}s stale (bound {limit:.3f}s)"
+            )
+        if as_of is not None and as_of > follower.watermark:
+            self.machine.counters.add(REPLICA_REDIRECTS)
+            raise FollowerLaggingError(
+                f"replica of {follower.tablet.tablet_id} on {self.name} has "
+                f"watermark {follower.watermark} < as_of {as_of}"
+            )
+
+    def follower_read(
+        self,
+        table: str,
+        key: bytes,
+        group: str,
+        *,
+        as_of: int | None = None,
+        max_staleness: float | None = None,
+    ) -> tuple[int, bytes] | None:
+        """Bounded-staleness read from a hosted replica.
+
+        Same contract as :meth:`read` but served from the replica's index
+        and the *owner's* log segments read on this machine; raises the
+        retryable :class:`FollowerLaggingError` when the replica cannot
+        honour the staleness bound (the client falls back to the owner).
+        """
+        self._require_serving()
+        check_deadline("follower read")
+        with span(SPAN_FOLLOWER_READ, self.machine, table=table, group=group):
+            follower = self._follower_for(table, key)
+            self._check_follower_serving(
+                follower, as_of=as_of, max_staleness=max_staleness
+            )
+            index = follower.index(group)
+            entry = (
+                index.lookup_latest(key)
+                if as_of is None
+                else index.lookup_asof(key, as_of)
+            )
+            if entry is None:
+                self.machine.counters.add(REPLICA_READS_SERVED)
+                return None
+            tailer = self._tailers[follower.owner_name]
+            try:
+                record = tailer.repo.read(entry.pointer)
+            except (InvalidLogPointer, DFSError) as exc:
+                # The owner compacted this position away between tail
+                # passes; the next pass re-points the entry at the sorted
+                # segment that replaced it.
+                self.machine.counters.add(REPLICA_REDIRECTS)
+                raise FollowerLaggingError(
+                    f"replica of {follower.tablet.tablet_id} on {self.name}: "
+                    f"log position retired by the owner ({exc})"
+                ) from exc
+            self.machine.counters.add(REPLICA_READS_SERVED)
+            if record.value is None:
+                return None
+            return entry.timestamp, record.value
+
+    def follower_scan(
+        self,
+        table: str,
+        group: str,
+        start_key: bytes,
+        end_key: bytes,
+        *,
+        as_of: int | None = None,
+        max_staleness: float | None = None,
+    ) -> list[tuple[bytes, int, bytes]]:
+        """Bounded-staleness range scan over this server's replicas.
+
+        Materialized (unlike the owner's lazy :meth:`range_scan`) so a
+        staleness rejection or retired log position surfaces inside the
+        RPC rather than mid-consumption on the client."""
+        self._require_serving()
+        check_deadline("follower range scan")
+        rows: list[tuple[bytes, int, bytes]] = []
+        with span(SPAN_FOLLOWER_READ, self.machine, table=table, group=group):
+            followed = sorted(
+                (f for f in self.followers.values() if f.tablet.table == table),
+                key=lambda f: f.tablet.key_range.start,
+            )
+            if not followed:
+                self.machine.counters.add(REPLICA_REDIRECTS)
+                raise FollowerLaggingError(
+                    f"{self.name} hosts no replica for table {table}"
+                )
+            batching = self.config.read_coalesce_gap is not None
+            window = self.config.read_batch_size
+            for follower in followed:
+                self._check_follower_serving(
+                    follower, as_of=as_of, max_staleness=max_staleness
+                )
+                tailer = self._tailers[follower.owner_name]
+                entries = follower.index(group).latest_in_range(
+                    start_key, end_key, as_of=as_of
+                )
+                try:
+                    if not batching:
+                        for entry in entries:
+                            record = tailer.repo.read(entry.pointer)
+                            if record.value is not None:
+                                rows.append(
+                                    (entry.key, entry.timestamp, record.value)
+                                )
+                        continue
+                    entries = iter(entries)
+                    while True:
+                        batch = list(islice(entries, window))
+                        if not batch:
+                            break
+                        records = tailer.repo.read_many(
+                            [entry.pointer for entry in batch]
+                        )
+                        for entry, record in zip(batch, records):
+                            if record.value is not None:
+                                rows.append(
+                                    (entry.key, entry.timestamp, record.value)
+                                )
+                except (InvalidLogPointer, DFSError) as exc:
+                    self.machine.counters.add(REPLICA_REDIRECTS)
+                    raise FollowerLaggingError(
+                        f"replica of {follower.tablet.tablet_id} on "
+                        f"{self.name}: log position retired by the owner "
+                        f"({exc})"
+                    ) from exc
+            self.machine.counters.add(REPLICA_READS_SERVED)
+        return rows
+
     def _touch_heat(self, tablet: Tablet, key: bytes | None = None) -> None:
         tablet_id = str(tablet.tablet_id)
         self.heat[tablet_id] = self.heat.get(tablet_id, 0.0) + 1.0
@@ -256,6 +486,8 @@ class TabletServer:
         self.migrating_tablets.clear()
         self.lease_until.clear()
         self._key_samples.clear()
+        self.followers.clear()
+        self._tailers.clear()
         if self.read_cache is not None:
             self.read_cache.clear()
 
@@ -277,6 +509,10 @@ class TabletServer:
         self.migrating_tablets.clear()
         self.lease_until.clear()
         self._key_samples.clear()
+        # Replicas died with the process; the heartbeat re-places them and
+        # the fresh tailers replay the owners' logs from the start.
+        self.followers.clear()
+        self._tailers.clear()
         self.log = LogRepository.reattach(
             self.dfs,
             self.machine,
@@ -299,6 +535,10 @@ class TabletServer:
 
     def assign_tablet(self, tablet: Tablet) -> None:
         """Take responsibility for ``tablet``: create its group indexes."""
+        if self.followers:
+            # Promotion: a server that becomes the owner of a tablet it was
+            # following serves authoritatively from now on.
+            self.unfollow_tablet(tablet.tablet_id)
         self.tablets[str(tablet.tablet_id)] = tablet
         self._route_cache.pop(tablet.table, None)
         for group in tablet.schema.group_names:

@@ -205,6 +205,16 @@ class TabletMigratingError(ClusterError):
     (ownership may have moved) and re-resolves after backoff."""
 
 
+class FollowerLaggingError(ClusterError):
+    """A read-replica (follower) could not serve a bounded-staleness read:
+    its replication watermark is older than the request's ``max_staleness``
+    allows, the follower is not (or no longer) subscribed to the tablet,
+    or the log position it needs was retired by the owner's compaction.
+    Retryable: the client falls back to the tablet's owner for this read
+    and keeps the follower in rotation (lag is transient; the next
+    heartbeat advances the tail)."""
+
+
 class MigrationError(ClusterError):
     """A live tablet migration could not complete (the state machine
     aborted or hit an unrecoverable precondition)."""

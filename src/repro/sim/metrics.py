@@ -203,6 +203,24 @@ SPAN_MIGRATION_CATCHUP_PHASE = REGISTRY.register("migration.catchup_phase")
 SPAN_MIGRATION_FLIP_PHASE = REGISTRY.register("migration.flip_phase")
 HIST_MIGRATION_FLIP = REGISTRY.register("latency.migration.flip")
 
+# Canonical names for log-shipping read replicas (PR 10).
+# ``replica.reads_served`` counts reads a follower answered,
+# ``replica.redirects`` counts reads bounced back to the owner
+# (FollowerLaggingError: watermark too stale, unsubscribed, or the
+# needed segment was retired by compaction), ``replica.lag_records``
+# accumulates records applied by follower tails (the shipped volume),
+# ``replica.tail_batches`` counts tail passes that applied at least one
+# record, and ``latency.replica.lag`` is the per-heartbeat distribution
+# of follower staleness in simulated seconds (owner last-commit time
+# minus follower watermark).
+REPLICA_READS_SERVED = REGISTRY.register("replica.reads_served")
+REPLICA_REDIRECTS = REGISTRY.register("replica.redirects")
+REPLICA_LAG_RECORDS = REGISTRY.register("replica.lag_records")
+REPLICA_TAIL_BATCHES = REGISTRY.register("replica.tail_batches")
+SPAN_FOLLOWER_TAIL = REGISTRY.register("follower.tail")
+SPAN_FOLLOWER_READ = REGISTRY.register("follower.read")
+HIST_REPLICA_LAG = REGISTRY.register("latency.replica.lag")
+
 REGISTRY.freeze()
 
 

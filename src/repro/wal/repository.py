@@ -354,9 +354,16 @@ class LogRepository:
             value=record.value,
         )
 
-    def scan_segment(self, file_no: int) -> Iterator[tuple[LogPointer, LogRecord]]:
-        """Sequential scan of one segment."""
-        for pointer, record in self._reader(file_no).scan():
+    def scan_segment(
+        self, file_no: int, *, start_offset: int = 0
+    ) -> Iterator[tuple[LogPointer, LogRecord]]:
+        """Sequential scan of one segment, optionally from a byte offset.
+
+        ``start_offset`` must be a record boundary (``offset + size`` of a
+        previously scanned pointer); a follower's log tailer resumes from
+        its cursor with it, reading only the segment's unseen suffix.
+        """
+        for pointer, record in self._reader(file_no).scan(start=start_offset):
             check_deadline("log segment scan")
             yield pointer, self._fill_slim(file_no, record)
 
@@ -514,3 +521,57 @@ class LogRepository:
             repo._paths[file_no] = path
             repo._next_file_no = max(repo._next_file_no, file_no + 1)
         return repo
+
+    def refresh_from_dfs(self) -> None:
+        """Re-sync this handle with the segment files currently in the DFS.
+
+        A follower's tailer holds a read-only ``reattach``-ed handle over
+        the owner's log directory while the owner keeps rolling, compacting,
+        and retiring segments underneath it.  Each tail pass calls this
+        first so the handle (a) picks up newly rolled segments, (b) drops
+        segments the owner retired (their readers would otherwise serve
+        reads of deleted files), (c) reloads the slim-segment metadata map
+        when compaction installed new sorted segments, and (d) refreshes
+        cached readers so they observe appends past their opened length.
+        Cost: one namenode listing plus a small metadata read when the map
+        changed — no data I/O.
+        """
+        listed: dict[int, str] = {}
+        for path in self._dfs.list_files(self._root + "/"):
+            name = path.rsplit("/", 1)[-1]
+            if name.startswith("segments.meta"):
+                continue
+            stem = name.rsplit(".", 1)[0]
+            try:
+                file_no = int(stem.split("-")[-1])
+            except ValueError:
+                continue
+            listed[file_no] = path
+        for file_no in list(self._paths):
+            if file_no in listed or file_no in self._archived:
+                continue
+            self._paths.pop(file_no, None)
+            self._readers.pop(file_no, None)
+            self._slim_meta.pop(file_no, None)
+        new_sorted = False
+        for file_no, path in listed.items():
+            if file_no not in self._paths:
+                self._paths[file_no] = path
+                self._next_file_no = max(self._next_file_no, file_no + 1)
+                if "sorted-" in path.rsplit("/", 1)[-1]:
+                    new_sorted = True
+        if new_sorted:
+            for meta_path in (self._meta_tmp_path(), self._meta_path()):
+                if not self._dfs.exists(meta_path):
+                    continue
+                raw = self._dfs.open(meta_path, self._machine).read_all()
+                try:
+                    parsed = json.loads(raw.decode())
+                except ValueError:
+                    continue
+                self._slim_meta = {
+                    int(no): (meta[0], meta[1]) for no, meta in parsed.items()
+                }
+                break
+        for reader in self._readers.values():
+            reader.refresh()

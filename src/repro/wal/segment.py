@@ -97,8 +97,8 @@ class LogSegmentReader:
         one such span."""
         return self._reader.read(offset, length)
 
-    def scan(self) -> Iterator[tuple[LogPointer, LogRecord]]:
-        """Sequentially decode every record in the segment.
+    def scan(self, *, start: int = 0) -> Iterator[tuple[LogPointer, LogRecord]]:
+        """Sequentially decode every record in the segment from ``start``.
 
         With a prefetch window configured, the segment is read in
         consecutive windows (sequential on the disk model: only the first
@@ -106,14 +106,18 @@ class LogSegmentReader:
         boundary are carried over.  A torn final record (crash mid-append)
         terminates the scan cleanly, matching recovery semantics: bytes
         after the last complete frame are ignored.
+
+        ``start`` must be a record boundary (a pointer's ``offset + size``
+        from a previous scan); a log tailer resumes mid-segment with it and
+        pays only for the bytes past its cursor.
         """
         length = self._reader.length
-        window = self._prefetch_bytes if self._prefetch_bytes > 0 else length
+        window = self._prefetch_bytes if self._prefetch_bytes > 0 else length - start
         counting = self._prefetch_bytes > 0
         buf = b""
-        base = 0  # file offset of buf[0]
-        fetched = 0  # file offset up to which the segment has been read
-        offset = 0  # file offset of the next record
+        base = start  # file offset of buf[0]
+        fetched = start  # file offset up to which the segment has been read
+        offset = start  # file offset of the next record
         while offset < length:
             try:
                 record, rel_next = LogRecord.decode(buf, offset - base)
