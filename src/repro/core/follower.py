@@ -154,8 +154,14 @@ class LogTailer:
         (key, timestamp); the tombstone map is rebuilt as the stream
         re-delivers the same markers), and the reset is what lets a
         replica created mid-stream see records the shared cursor already
-        passed."""
+        passed.  Every member — not just the new one — stops serving
+        until the re-replay fully drains: the batch-bounded re-replay can
+        transiently re-insert a WRITE whose shadowing INVALIDATE only
+        lands in a later pass, and a member still judged fresh from its
+        pre-reset drain would serve that resurrected deleted version."""
         self.members[str(follower.tablet.tablet_id)] = follower
+        for member in self.members.values():
+            member.caught_up_at = None
         self._cursor = (0, 0)
         self._sorted_progress.clear()
         self._sorted_done.clear()

@@ -405,13 +405,39 @@ class TabletServer:
         rows: list[tuple[bytes, int, bytes]] = []
         with span(SPAN_FOLLOWER_READ, self.machine, table=table, group=group):
             followed = sorted(
-                (f for f in self.followers.values() if f.tablet.table == table),
+                (
+                    f
+                    for f in self.followers.values()
+                    if f.tablet.table == table
+                    and f.tablet.key_range.start < end_key
+                    and (
+                        f.tablet.key_range.end is None
+                        or f.tablet.key_range.end > start_key
+                    )
+                ),
                 key=lambda f: f.tablet.key_range.start,
             )
-            if not followed:
+            # Mirror _follower_for's coverage check: the hosted replicas
+            # must jointly cover the requested range.  A client with a
+            # stale follower route (placement rotates on live-set or
+            # split changes) can land on a server hosting only *other*
+            # tablets of the table — an empty result then silently drops
+            # the target tablet's rows, so raise and let the client fall
+            # back to the owner instead.
+            cursor: bytes | None = start_key
+            for follower in followed:
+                if follower.tablet.key_range.start > cursor:
+                    break
+                fr_end = follower.tablet.key_range.end
+                if fr_end is None:
+                    cursor = None
+                    break
+                cursor = max(cursor, fr_end)
+            if cursor is not None and cursor < end_key:
                 self.machine.counters.add(REPLICA_REDIRECTS)
                 raise FollowerLaggingError(
-                    f"{self.name} hosts no replica for table {table}"
+                    f"{self.name} hosts no replica covering "
+                    f"{table}:[{start_key!r}, {end_key!r})"
                 )
             batching = self.config.read_coalesce_gap is not None
             window = self.config.read_batch_size

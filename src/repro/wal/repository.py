@@ -561,7 +561,13 @@ class LogRepository:
                 if "sorted-" in path.rsplit("/", 1)[-1]:
                     new_sorted = True
         if new_sorted:
-            for meta_path in (self._meta_tmp_path(), self._meta_path()):
+            # Prefer the committed map: unlike ``reattach`` (crash
+            # recovery, where a complete temp is always the newest
+            # state), a live refresh can observe a temp file orphaned by
+            # an owner crash long since superseded — parseable but
+            # stale.  Fall back to the temp only when the committed map
+            # is absent (crash between delete and rename) or torn.
+            for meta_path in (self._meta_path(), self._meta_tmp_path()):
                 if not self._dfs.exists(meta_path):
                     continue
                 raw = self._dfs.open(meta_path, self._machine).read_all()

@@ -180,6 +180,94 @@ def test_follower_scan_matches_owner_scan(rep_db):
     ]
 
 
+def test_scan_with_no_covering_replica_rejects(schema):
+    """A clipped scan landing (via a stale client route) on a server that
+    hosts other tablets of the table but no replica covering the range
+    must raise, not silently return [] — the client would accept the
+    empty slice and drop that tablet's rows from the scan result."""
+    db = LogBase(n_nodes=3, config=_rep_config())
+    db.create_table(schema, tablets_per_server=2, only_servers=[SOURCE])
+    client = db.client(db.cluster.machines[-1])
+    k0, k1 = b"000000000001", b"001000000001"
+    client.put_raw(TABLE, k0, GROUP, encode_value(0))
+    client.put_raw(TABLE, k1, GROUP, encode_value(1))
+    db.cluster.heartbeat()
+    followers = db.cluster.master.catalog.followers
+    t0_id, t1_id = sorted(followers)
+    # The rotation spreads the two replicas over the two non-owners.
+    assert followers[t0_id] != followers[t1_id]
+    t1 = db.cluster.master._tablet_by_id(t1_id)
+    s0 = db.cluster.server_by_name(followers[t0_id][0])
+    assert t1_id not in s0.followers
+    with pytest.raises(FollowerLaggingError):
+        s0.follower_scan(TABLE, GROUP, t1.key_range.start, k1 + b"\xff")
+    # The server that does cover the range serves the same clipped scan.
+    s1 = db.cluster.server_by_name(followers[t1_id][0])
+    rows = s1.follower_scan(TABLE, GROUP, t1.key_range.start, k1 + b"\xff")
+    assert [(k, v) for k, _, v in rows] == [(k1, encode_value(1))]
+
+
+def test_scan_ignores_lag_of_non_intersecting_replicas(schema):
+    """A lagging replica of an unrelated tablet must not fail a clipped
+    scan that a fresh co-hosted replica fully covers."""
+    db = LogBase(n_nodes=2, config=_rep_config())
+    db.create_table(schema, tablets_per_server=2, only_servers=[SOURCE])
+    client = db.client(db.cluster.machines[-1])
+    k0, k1 = b"000000000001", b"001000000001"
+    client.put_raw(TABLE, k0, GROUP, encode_value(0))
+    client.put_raw(TABLE, k1, GROUP, encode_value(1))
+    db.cluster.heartbeat()
+    followers = db.cluster.master.catalog.followers
+    t0_id, t1_id = sorted(followers)
+    # One non-owner, so it co-hosts both replicas on one tailer.
+    server = db.cluster.server_by_name(followers[t0_id][0])
+    assert followers[t1_id][0] == server.name
+    server.followers[t1_id].caught_up_at = None  # unrelated replica lags
+    rows = server.follower_scan(TABLE, GROUP, k0, k0 + b"\xff")
+    assert [(k, v) for k, _, v in rows] == [(k0, encode_value(0))]
+    t1 = db.cluster.master._tablet_by_id(t1_id)
+    with pytest.raises(FollowerLaggingError):
+        server.follower_scan(TABLE, GROUP, t1.key_range.start, k1 + b"\xff")
+
+
+def test_new_subscription_quarantines_cohosted_replicas(schema):
+    """Subscribing a replica resets the shared stream; until the
+    re-replay fully drains, co-hosted replicas must stop serving — a
+    batch-bounded pass can transiently re-insert a WRITE whose shadowing
+    INVALIDATE only lands in a later pass."""
+    db = LogBase(n_nodes=2, config=_rep_config())
+    db.create_table(schema, tablets_per_server=2, only_servers=[SOURCE])
+    client = db.client(db.cluster.machines[-1])
+    k0, k1 = b"000000000001", b"001000000001"
+    client.put_raw(TABLE, k0, GROUP, encode_value(0))
+    client.put_raw(TABLE, k1, GROUP, encode_value(1))
+    db.delete(TABLE, k0, GROUP)
+    db.cluster.heartbeat()
+    followers = db.cluster.master.catalog.followers
+    t0_id, t1_id = sorted(followers)
+    server = db.cluster.server_by_name(followers[t0_id][0])
+    assert server.follower_read(TABLE, k0, GROUP) is None
+    # Re-point tablet 1's replica: the shared stream restarts from zero.
+    t1 = db.cluster.master._tablet_by_id(t1_id)
+    epoch = server.followers[t1_id].epoch
+    server.unfollow_tablet(t1_id)
+    server.follow_tablet(t1, SOURCE, epoch)
+    tailer = server._tailers[SOURCE]
+    with pytest.raises(FollowerLaggingError):
+        server.follower_read(TABLE, k0, GROUP)
+    # One-record passes re-insert k0's WRITE before its INVALIDATE is
+    # re-seen; the co-hosted replica must keep rejecting mid-replay.
+    drained = False
+    while not drained:
+        _, drained = tailer.tail(1)
+        if not drained:
+            with pytest.raises(FollowerLaggingError):
+                server.follower_read(TABLE, k0, GROUP)
+    # Fully drained: serving resumes and the delete still holds.
+    assert server.follower_read(TABLE, k0, GROUP) is None
+    assert server.follower_read(TABLE, k1, GROUP) is not None
+
+
 def test_promotion_tears_the_replica_down(rep_db):
     db, keys, _ = rep_db
     tablet_id, server, _ = _the_follower(db)
