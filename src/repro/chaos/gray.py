@@ -41,6 +41,19 @@ LIMP_FACTOR = 40.0
 #: link slowdown factor for the degraded replication pipeline link.
 LINK_FACTOR = 60.0
 
+#: latency SLO targets (simulated seconds) for *monitored* gray runs,
+#: placed just above the slowest op any clean gray arm produces (clean
+#: puts top out at ~51ms, clean gets at ~63ms even with hedging and
+#: deadlines disabled) so a clean run has *zero* SLO-violating samples,
+#: while a x60 link slowdown pushes puts past 120ms and fires the
+#: burn-rate alert.
+GRAY_SLO_TARGETS = {"op.put": 0.06, "op.get": 0.07}
+
+#: burn-rate threshold for monitored gray runs: with a 0.99 objective
+#: this fires once >8% of windowed ops violate their target — between
+#: the 0% of every clean arm and the ~15% a degraded link inflicts.
+GRAY_SLO_BURN_THRESHOLD = 8.0
+
 
 @dataclass(frozen=True)
 class GraySchedule:
@@ -206,6 +219,7 @@ def run_gray(
     ops: int = 60,
     *,
     resilience: bool = True,
+    monitoring: bool = False,
 ) -> ChaosReport:
     """Execute one gray scenario through the chaos runner.
 
@@ -218,12 +232,26 @@ def run_gray(
             schedule's overrides); False runs the unmitigated control
             (:meth:`LogBaseConfig.with_fault_tolerance`) under the same
             fault plan, for tail-latency comparison.
+        monitoring: layer the monitoring plane (and tracing, which the
+            SLO burn-rate rules need for their latency histograms) on
+            top of the chosen arm; the report then carries the alert log
+            and flight-recorder post-mortems.
 
     Both arms disable the server read cache so workload reads actually
     reach the DFS replicas the schedules degrade.
     """
     schedule = GRAY_SCHEDULES[scenario]
     common: dict = {"segment_size": 64 * 1024, "read_cache_enabled": False}
+    if monitoring:
+        common.update(
+            {
+                "monitoring": True,
+                "monitor_scrape_interval": 0.0,  # detection fidelity
+                "tracing": True,
+                "slo_op_p99": dict(GRAY_SLO_TARGETS),
+                "slo_burn_threshold": GRAY_SLO_BURN_THRESHOLD,
+            }
+        )
     if resilience:
         config = LogBaseConfig.with_gray_resilience(
             **common, **schedule.overrides

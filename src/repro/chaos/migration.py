@@ -64,11 +64,19 @@ class MigrationChaosReport:
     stale_owner_rejected: bool = False
     keys_checked: int = 0
     violations: list[str] = field(default_factory=list)
+    # Monitoring-plane artifacts (monitoring=True runs; empty otherwise).
+    alerts: list = field(default_factory=list)
+    postmortems: list = field(default_factory=list)
+    fault_times: list = field(default_factory=list)
 
     @property
     def passed(self) -> bool:
         """Whether the run upheld durability and single ownership."""
         return not self.violations
+
+    def fired_alert_names(self) -> set[str]:
+        """Alert names that fired at least once during the run."""
+        return {a["alert"] for a in self.alerts if a["state"] == "firing"}
 
     def to_dict(self) -> dict:
         return {
@@ -84,6 +92,12 @@ class MigrationChaosReport:
             "keys_checked": self.keys_checked,
             "violations": self.violations,
             "passed": self.passed,
+            "alerts": self.alerts,
+            "fault_times": self.fault_times,
+            "postmortems": [
+                {"reason": pm["reason"], "time": pm["time"]}
+                for pm in self.postmortems
+            ],
         }
 
 
@@ -124,13 +138,24 @@ def check_single_owner(db: LogBase) -> list[str]:
 
 
 def _seeded_cluster(
-    seed: int, ops: int, n_nodes: int, *, n_masters: int = 1
+    seed: int,
+    ops: int,
+    n_nodes: int,
+    *,
+    n_masters: int = 1,
+    monitoring: bool = False,
 ) -> tuple[LogBase, DurabilityOracle, list[bytes], str]:
     """A live-migration cluster with every tablet on the source, ``ops``
     acked writes, and the heartbeat heat snapshot taken.  Returns the id
     of the tablet the scenarios will migrate (the one covering the most
     written keys)."""
-    config = LogBaseConfig.with_live_migration(segment_size=64 * 1024)
+    config = LogBaseConfig.with_live_migration(
+        segment_size=64 * 1024,
+        monitoring=monitoring,
+        # Chaos detection wants every heartbeat scraped, not the
+        # production cadence.
+        monitor_scrape_interval=0.0,
+    )
     db = LogBase(n_nodes=n_nodes, config=config, n_masters=n_masters)
     db.create_table(SCHEMA, tablets_per_server=2, only_servers=[SOURCE])
     oracle = DurabilityOracle()
@@ -207,6 +232,10 @@ def _crash_source_mid_catchup(
         except LogBaseError:
             report.first_attempt_failed = True
     report.faults_fired = len(plan.fired)
+    if db.cluster.monitor is not None:
+        # Detection tick *before* the operator reacts: the monitoring
+        # plane must see the dead source, not the post-restart cluster.
+        db.cluster.heartbeat()
     db.cluster.restart_server(SOURCE)
     db.cluster.heartbeat()
     report.resume_outcomes = db.cluster.resume_migrations()
@@ -241,6 +270,8 @@ def _crash_target_mid_flip(
         except LogBaseError:
             report.first_attempt_failed = True
     report.faults_fired = len(plan.fired)
+    if db.cluster.monitor is not None:
+        db.cluster.heartbeat()  # detection tick before the restart
     db.cluster.restart_server(TARGET)
     db.cluster.heartbeat()
     report.resume_outcomes = db.cluster.resume_migrations()
@@ -348,9 +379,13 @@ def run_migration_chaos(
     seed: int = 1,
     ops: int = 40,
     n_nodes: int = 4,
+    monitoring: bool = False,
 ) -> MigrationChaosReport:
     """Run one seeded interrupted-migration schedule; returns the
     verified report.
+
+    With ``monitoring`` the cluster carries the monitoring plane and the
+    report gains the alert log, post-mortem bundles, and fault times.
 
     Raises:
         KeyError: for an unknown scenario name.
@@ -361,10 +396,16 @@ def run_migration_chaos(
         raise ValueError("migration chaos topology needs >= 3 nodes")
     n_masters = 2 if scenario == "master-failover-mid-migration" else 1
     db, oracle, keys, tablet_id = _seeded_cluster(
-        seed, ops, n_nodes, n_masters=n_masters
+        seed, ops, n_nodes, n_masters=n_masters, monitoring=monitoring
     )
     report = MigrationChaosReport(scenario=scenario, seed=seed, ops=ops)
     runner(db, oracle, keys, tablet_id, report)
     report.final_owner = db.cluster.master.catalog.assignments.get(tablet_id, "")
     _verify(db, oracle, report)
+    monitor = db.cluster.monitor
+    if monitor is not None:
+        report.alerts = monitor.alert_log()
+        report.postmortems = monitor.postmortem_dicts()
+        report.fault_times = monitor.fault_times()
+        monitor.close()
     return report

@@ -62,11 +62,19 @@ class RecoveryChaosReport:
     fence_epoch: int = 0
     keys_checked: int = 0
     violations: list[str] = field(default_factory=list)
+    # Monitoring-plane artifacts (monitoring=True runs; empty otherwise).
+    alerts: list = field(default_factory=list)
+    postmortems: list = field(default_factory=list)
+    fault_times: list = field(default_factory=list)
 
     @property
     def passed(self) -> bool:
         """Whether the run upheld the durability contract."""
         return not self.violations
+
+    def fired_alert_names(self) -> set[str]:
+        """Alert names that fired at least once during the run."""
+        return {a["alert"] for a in self.alerts if a["state"] == "firing"}
 
     def to_dict(self) -> dict:
         return {
@@ -82,16 +90,26 @@ class RecoveryChaosReport:
             "keys_checked": self.keys_checked,
             "violations": self.violations,
             "passed": self.passed,
+            "alerts": self.alerts,
+            "fault_times": self.fault_times,
+            "postmortems": [
+                {"reason": pm["reason"], "time": pm["time"]}
+                for pm in self.postmortems
+            ],
         }
 
 
 def _seeded_cluster(
-    seed: int, ops: int, n_nodes: int
+    seed: int, ops: int, n_nodes: int, *, monitoring: bool = False
 ) -> tuple[LogBase, DurabilityOracle, list[bytes]]:
     """A cluster with every tablet on the victim, ``ops`` acked writes
     (checkpoint at the halfway mark so both checkpoint reload and tail
     redo run), and a heat profile the heartbeat has already snapshotted."""
-    config = LogBaseConfig.with_fast_recovery(segment_size=64 * 1024)
+    config = LogBaseConfig.with_fast_recovery(
+        segment_size=64 * 1024,
+        monitoring=monitoring,
+        monitor_scrape_interval=0.0,  # chaos detection: scrape every beat
+    )
     db = LogBase(n_nodes=n_nodes, config=config)
     db.create_table(SCHEMA, tablets_per_server=2, only_servers=[VICTIM])
     oracle = DurabilityOracle()
@@ -129,6 +147,10 @@ def _crash_during_recovery(
 ) -> None:
     """Kill the victim again in the middle of its own parallel redo."""
     db.cluster.kill_node(VICTIM)
+    if db.cluster.monitor is not None:
+        # Detection tick *before* the operator restarts: the monitoring
+        # plane must witness the dead victim, not the recovered cluster.
+        db.cluster.heartbeat()
     plan = FaultPlan()
     plan.add(
         CP_RECOVERY_MID,
@@ -227,9 +249,13 @@ def run_recovery_chaos(
     seed: int = 1,
     ops: int = 40,
     n_nodes: int = 4,
+    monitoring: bool = False,
 ) -> RecoveryChaosReport:
     """Run one seeded crash-during-recovery schedule; returns the verified
     report.
+
+    With ``monitoring`` the cluster carries the monitoring plane and the
+    report gains the alert log, post-mortem bundles, and fault times.
 
     Raises:
         KeyError: for an unknown scenario name.
@@ -238,8 +264,14 @@ def run_recovery_chaos(
     runner = RECOVERY_SCENARIOS[scenario]
     if n_nodes < 4:
         raise ValueError("recovery chaos topology needs >= 4 nodes")
-    db, oracle, _keys = _seeded_cluster(seed, ops, n_nodes)
+    db, oracle, _keys = _seeded_cluster(seed, ops, n_nodes, monitoring=monitoring)
     report = RecoveryChaosReport(scenario=scenario, seed=seed, ops=ops)
     runner(db, oracle, report)
     _verify(db, oracle, report)
+    monitor = db.cluster.monitor
+    if monitor is not None:
+        report.alerts = monitor.alert_log()
+        report.postmortems = monitor.postmortem_dicts()
+        report.fault_times = monitor.fault_times()
+        monitor.close()
     return report

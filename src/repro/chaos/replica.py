@@ -48,11 +48,19 @@ class ReplicaChaosReport:
     keys_checked: int = 0
     staleness_violations: list[str] = field(default_factory=list)
     violations: list[str] = field(default_factory=list)
+    # Monitoring-plane artifacts (monitoring=True runs; empty otherwise).
+    alerts: list = field(default_factory=list)
+    postmortems: list = field(default_factory=list)
+    fault_times: list = field(default_factory=list)
 
     @property
     def passed(self) -> bool:
         """Whether the run upheld durability, fencing, and staleness."""
         return not self.violations and not self.staleness_violations
+
+    def fired_alert_names(self) -> set[str]:
+        """Alert names that fired at least once during the run."""
+        return {a["alert"] for a in self.alerts if a["state"] == "firing"}
 
     def to_dict(self) -> dict:
         return {
@@ -67,6 +75,12 @@ class ReplicaChaosReport:
             "staleness_violations": self.staleness_violations,
             "violations": self.violations,
             "passed": self.passed,
+            "alerts": self.alerts,
+            "fault_times": self.fault_times,
+            "postmortems": [
+                {"reason": pm["reason"], "time": pm["time"]}
+                for pm in self.postmortems
+            ],
         }
 
 
@@ -131,13 +145,17 @@ class StalenessChecker:
 
 
 def _seeded_cluster(
-    seed: int, ops: int, n_nodes: int
+    seed: int, ops: int, n_nodes: int, *, monitoring: bool = False
 ) -> tuple[LogBase, DurabilityOracle, StalenessChecker, list[bytes], str]:
     """A read-replica cluster with every tablet on the source, ``ops``
     acked writes recorded in the oracle and version history, and the
     followers placed and caught up.  Returns the tablet id the scenarios
     will target (the one covering the most written keys)."""
-    config = LogBaseConfig.with_read_replicas(segment_size=64 * 1024)
+    config = LogBaseConfig.with_read_replicas(
+        segment_size=64 * 1024,
+        monitoring=monitoring,
+        monitor_scrape_interval=0.0,  # chaos detection: scrape every beat
+    )
     db = LogBase(n_nodes=n_nodes, config=config)
     db.create_table(SCHEMA, tablets_per_server=2, only_servers=[SOURCE])
     oracle = DurabilityOracle()
@@ -287,6 +305,17 @@ def _stale_follower_reads(
     stale.machine.clock.advance(
         db.cluster.config.replica_max_staleness + 1.0
     )
+    monitor = db.cluster.monitor
+    if monitor is not None:
+        # The heartbeat's tail pass would catch the follower back up
+        # before the end-of-heartbeat scrape could see it, so this
+        # scenario scrapes directly: the monitoring plane must witness
+        # the lag while it exists, exactly as a scrape racing the next
+        # tail pass would in production.
+        monitor.note_fault(
+            "stale-follower", {"node": stale.name, "tablet": tablet_id}
+        )
+        monitor.tick(force=True)
     probe = next(k for k in keys if _covering_tablet(db, k) == tablet_id)
     try:
         result = stale.follower_read(TABLE, probe, GROUP, max_staleness=0.5)
@@ -400,8 +429,12 @@ def run_replica_chaos(
     seed: int = 1,
     ops: int = 40,
     n_nodes: int = 4,
+    monitoring: bool = False,
 ) -> ReplicaChaosReport:
     """Run one seeded replica chaos schedule; returns the verified report.
+
+    With ``monitoring`` the cluster carries the monitoring plane and the
+    report gains the alert log, post-mortem bundles, and fault times.
 
     Raises:
         KeyError: for an unknown scenario name.
@@ -410,8 +443,16 @@ def run_replica_chaos(
     runner = REPLICA_SCENARIOS[scenario]
     if n_nodes < 3:
         raise ValueError("replica chaos topology needs >= 3 nodes")
-    db, oracle, checker, keys, tablet_id = _seeded_cluster(seed, ops, n_nodes)
+    db, oracle, checker, keys, tablet_id = _seeded_cluster(
+        seed, ops, n_nodes, monitoring=monitoring
+    )
     report = ReplicaChaosReport(scenario=scenario, seed=seed, ops=ops)
     runner(db, oracle, checker, keys, tablet_id, report)
     _verify(db, oracle, checker, keys, report)
+    monitor = db.cluster.monitor
+    if monitor is not None:
+        report.alerts = monitor.alert_log()
+        report.postmortems = monitor.postmortem_dicts()
+        report.fault_times = monitor.fault_times()
+        monitor.close()
     return report

@@ -87,11 +87,21 @@ class ChaosReport:
     breaker_trips: int = 0
     admission_sheds: int = 0
     deadline_exceeded: int = 0
+    # Monitoring-plane artifacts (config.monitoring gate; empty otherwise):
+    # the structured alert log, the flight recorder's post-mortem bundles,
+    # and the simulated times of every observed fault.
+    alerts: list = field(default_factory=list)
+    postmortems: list = field(default_factory=list)
+    fault_times: list = field(default_factory=list)
 
     @property
     def passed(self) -> bool:
         """Whether the run upheld the durability contract."""
         return not self.violations
+
+    def fired_alert_names(self) -> set[str]:
+        """Alert names that fired at least once during the run."""
+        return {a["alert"] for a in self.alerts if a["state"] == "firing"}
 
     def to_dict(self) -> dict:
         return {
@@ -122,6 +132,14 @@ class ChaosReport:
             "breaker_trips": self.breaker_trips,
             "admission_sheds": self.admission_sheds,
             "deadline_exceeded": self.deadline_exceeded,
+            "alerts": self.alerts,
+            "fault_times": self.fault_times,
+            # Bundles stay on the dataclass (they embed whole series
+            # tails); the dict form carries a one-line summary each.
+            "postmortems": [
+                {"reason": pm["reason"], "time": pm["time"]}
+                for pm in self.postmortems
+            ],
         }
 
 
@@ -338,10 +356,16 @@ def run_chaos(
 
     checkpoint_at = ops // 3
     compact_at = (2 * ops) // 3
+    monitor = db.cluster.monitor
     with fault_plan(plan):
         for i in range(ops):
             event = events.get(i)
             if event is not None:
+                # Schedule events the injector can't see (overload
+                # bursts, link slows, mid-limp scans) still stamp a
+                # fault time for detection-latency accounting.
+                if monitor is not None:
+                    monitor.note_fault("schedule-event", {"index": i})
                 event()
                 report.events_run += 1
             if i == checkpoint_at:
@@ -408,4 +432,9 @@ def run_chaos(
         db.cluster.dfs.namenode.under_replicated
     )
     report.keys_checked = len(workload.oracle.keys)
+    if monitor is not None:
+        report.alerts = monitor.alert_log()
+        report.postmortems = monitor.postmortem_dicts()
+        report.fault_times = monitor.fault_times()
+        monitor.close()
     return report

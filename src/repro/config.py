@@ -193,6 +193,37 @@ class LogBaseConfig:
             byte-identically; :meth:`with_tracing` enables it.
         trace_ring: closed traces retained in the tracer's ring buffer.
         trace_slow_samples: worst traces kept per operation type.
+        monitoring: install a :class:`~repro.obs.monitor.ClusterMonitor`
+            on the cluster: every heartbeat scrapes per-machine counter
+            deltas and derived health gauges into ring-buffer time
+            series, evaluates the SLO/alert rules in simulated time, and
+            snapshots flight-recorder post-mortems on alert fire or any
+            observed fault.  Off by default so the seed figures are
+            reproduced byte-identically; :meth:`with_monitoring` enables
+            it.  Pure bookkeeping — no simulated cost either way.
+        monitor_ring: samples retained per (entity, metric) time series.
+        monitor_recorder_ring: events retained per node by the flight
+            recorder.
+        monitor_postmortems: post-mortem bundles retained per run
+            (overflow keeps the oldest — the incident's first snapshot).
+        monitor_series_tail: newest samples per series included in a
+            post-mortem bundle.
+        monitor_scrape_interval: minimum *simulated* seconds between
+            scrape ticks — the production-style cadence that keeps the
+            enabled gate's wall-clock overhead bounded.  ``0.0`` scrapes
+            on every heartbeat (what the chaos detection oracle uses for
+            maximum fidelity).
+        slo_op_p99: per-op-class latency SLO targets in simulated
+            seconds, e.g. ``{"op.put": 0.25}`` — each entry adds a
+            burn-rate alert computed from the PR 6 latency histograms
+            (requires ``tracing`` for the histograms to exist).
+        slo_objective: fraction of ops that must meet the target (0.99 =
+            p99 objective; 0.999 = availability-style, more nines).
+        slo_burn_threshold: burn-rate multiple that fires the SLO alert
+            (1.0 = burning budget exactly at the allowed rate).
+        slo_window: lookback window in simulated seconds for burn rates.
+        slo_min_samples: ops observed in the window before an SLO rule
+            may fire (suppresses noise on near-empty histograms).
         index_kind: ``"blink"`` (in-memory) or ``"lsm"`` (spill to DFS).
         max_versions: versions kept per key by compaction (None = all).
         disk: device cost model for every machine.
@@ -255,6 +286,17 @@ class LogBaseConfig:
     tracing: bool = False
     trace_ring: int = 512
     trace_slow_samples: int = 4
+    monitoring: bool = False
+    monitor_ring: int = 256
+    monitor_recorder_ring: int = 64
+    monitor_postmortems: int = 8
+    monitor_series_tail: int = 32
+    monitor_scrape_interval: float = 0.05
+    slo_op_p99: dict = field(default_factory=dict)
+    slo_objective: float = 0.99
+    slo_burn_threshold: float = 10.0
+    slo_window: float = 30.0
+    slo_min_samples: int = 5
     index_kind: str = "blink"
     max_versions: int | None = None
     disk: DiskModel = field(default_factory=DiskModel)
@@ -471,6 +513,23 @@ class LogBaseConfig:
         settings.update(overrides)
         return cls(**settings)
 
+    @classmethod
+    def with_monitoring(cls, **overrides) -> "LogBaseConfig":
+        """A config with the cluster monitoring plane enabled: the
+        heartbeat-driven time-series scrape, the SLO/alert engine, and
+        the chaos flight recorder, all reachable as ``cluster.monitor``.
+
+        The plain constructor keeps it off so the seed cost model and
+        figures are reproduced byte-identically; the detection oracle
+        (``repro.chaos.detection``) and ``bench_monitoring`` run the
+        chaos-family presets with ``monitoring=True`` layered on top.
+        """
+        settings: dict = {
+            "monitoring": True,
+        }
+        settings.update(overrides)
+        return cls(**settings)
+
     def gray_policy(self):
         """The :class:`~repro.sim.health.GrayPolicy` for this config, or
         None when the ``gray_resilience`` gate is off."""
@@ -577,3 +636,26 @@ class LogBaseConfig:
             raise ValueError("trace_ring must be >= 1")
         if self.trace_slow_samples < 0:
             raise ValueError("trace_slow_samples must be >= 0")
+        if self.monitor_ring < 1:
+            raise ValueError("monitor_ring must be >= 1")
+        if self.monitor_recorder_ring < 1:
+            raise ValueError("monitor_recorder_ring must be >= 1")
+        if self.monitor_postmortems < 0:
+            raise ValueError("monitor_postmortems must be >= 0")
+        if self.monitor_series_tail < 1:
+            raise ValueError("monitor_series_tail must be >= 1")
+        if self.monitor_scrape_interval < 0:
+            raise ValueError("monitor_scrape_interval must be >= 0")
+        for op_class, target in self.slo_op_p99.items():
+            if not isinstance(op_class, str) or not op_class:
+                raise ValueError("slo_op_p99 keys must be op-class names")
+            if target <= 0:
+                raise ValueError("slo_op_p99 targets must be > 0 seconds")
+        if not 0.0 < self.slo_objective < 1.0:
+            raise ValueError("slo_objective must be in (0, 1)")
+        if self.slo_burn_threshold <= 0:
+            raise ValueError("slo_burn_threshold must be > 0")
+        if self.slo_window <= 0:
+            raise ValueError("slo_window must be > 0")
+        if self.slo_min_samples < 1:
+            raise ValueError("slo_min_samples must be >= 1")

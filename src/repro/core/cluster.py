@@ -100,6 +100,18 @@ class LogBaseCluster:
         self.replica_lag_histogram: Histogram | None = (
             Histogram(HIST_REPLICA_LAG) if self.config.read_replicas else None
         )
+        # Monitoring plane (config.monitoring gate): scrape + alerts +
+        # flight recorder, ticked at the end of every heartbeat.  Pure
+        # bookkeeping over existing state — it advances no clock, so the
+        # seed path is byte-identical with the gate off and behavior-
+        # identical with it on.  Imported lazily: the seed path never
+        # loads the module.
+        if self.config.monitoring:
+            from repro.obs.monitor import ClusterMonitor
+
+            self.monitor: "ClusterMonitor | None" = ClusterMonitor(self)
+        else:
+            self.monitor = None
         for machine in self.machines:
             server = TabletServer(
                 f"ts-{machine.name}", machine, self.dfs, self.tso, self.config
@@ -307,11 +319,14 @@ class LogBaseCluster:
         created = 0
         if self.config.dfs_auto_rereplicate:
             created = self.dfs.heartbeat()
-        return {
+        tick = {
             "expired": expired,
             "rereplicated": created,
             "replica_lags": replica_lags,
         }
+        if self.monitor is not None:
+            tick["alerts_fired"] = self.monitor.tick()
+        return tick
 
     def _decay_ghost_heat(self) -> None:
         """Half-life decay for heat entries whose tablet no longer exists

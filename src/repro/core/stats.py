@@ -53,13 +53,21 @@ class ServerStats:
 
 @dataclass(frozen=True)
 class ClusterStats:
-    """Whole-cluster snapshot."""
+    """Whole-cluster snapshot.
+
+    ``health`` is the derived-gauge snapshot — replica lag, tablet heat,
+    recovery queues, lease health, breaker states and friends — nested
+    ``{entity: {gauge: value}}``.  It comes from the *same* function the
+    monitoring scraper samples (:func:`repro.obs.monitor.collect_health_gauges`),
+    so this report and the time series can never disagree.
+    """
 
     servers: tuple[ServerStats, ...]
     makespan_seconds: float
     total_log_bytes: int
     total_index_entries: int
     counters: dict[str, float] = field(default_factory=dict)
+    health: dict[str, dict[str, float]] = field(default_factory=dict)
 
 
 def collect_server_stats(server: TabletServer) -> ServerStats:
@@ -107,6 +115,8 @@ def collect_server_stats(server: TabletServer) -> ServerStats:
 
 def collect_cluster_stats(cluster: LogBaseCluster) -> ClusterStats:
     """Snapshot the whole cluster."""
+    from repro.obs.monitor import gauges_by_entity
+
     servers = tuple(collect_server_stats(server) for server in cluster.servers)
     return ClusterStats(
         servers=servers,
@@ -114,6 +124,7 @@ def collect_cluster_stats(cluster: LogBaseCluster) -> ClusterStats:
         total_log_bytes=sum(s.log_bytes for s in servers),
         total_index_entries=sum(s.index_entries for s in servers),
         counters=cluster.total_counters(),
+        health=gauges_by_entity(cluster),
     )
 
 
@@ -189,6 +200,13 @@ def format_stats(stats: ClusterStats, tracer=None) -> str:
         f"{name}={stats.counters.get(name, 0):,.0f}" for name in interesting
     )
     lines.append(f"  totals: {totals}")
+    for entity in sorted(stats.health):
+        gauges = stats.health[entity]
+        rendered = "  ".join(
+            f"{name.removeprefix('gauge.')}={value:g}"
+            for name, value in sorted(gauges.items())
+        )
+        lines.append(f"  health {entity}: {rendered}")
     if tracer is not None:
         from repro.obs.analyze import format_time_report
 

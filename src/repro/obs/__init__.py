@@ -9,6 +9,7 @@ client RPC, tablet server, WAL, DFS replication, disk — without storing
 per-sample data (histograms keep fixed geometric buckets).
 """
 
+from repro.obs.alerts import AlertEngine, SloRule, ThresholdRule
 from repro.obs.analyze import (
     TraceLog,
     coverage,
@@ -19,6 +20,9 @@ from repro.obs.analyze import (
 )
 from repro.obs.export import chrome_trace, export_chrome_trace
 from repro.obs.hist import Histogram, HistogramRegistry
+from repro.obs.monitor import ClusterMonitor, collect_health_gauges, default_rules
+from repro.obs.recorder import FlightRecorder, PostMortem
+from repro.obs.timeseries import MetricStore, TimeSeries
 from repro.obs.trace import (
     Span,
     Tracer,
@@ -31,11 +35,21 @@ from repro.obs.trace import (
 )
 
 __all__ = [
+    "AlertEngine",
+    "ClusterMonitor",
+    "FlightRecorder",
     "Histogram",
     "HistogramRegistry",
+    "MetricStore",
+    "PostMortem",
+    "SloRule",
     "Span",
+    "ThresholdRule",
+    "TimeSeries",
     "TraceLog",
     "Tracer",
+    "collect_health_gauges",
+    "default_rules",
     "chrome_trace",
     "coverage",
     "critical_path",

@@ -141,6 +141,36 @@ class Histogram:
             cumulative += count
         return self.max  # unreachable; defensive
 
+    def count_above(self, threshold: float) -> int:
+        """Observations strictly greater than ``threshold``.
+
+        Feeds SLO burn-rate math: with a latency target of ``t`` seconds,
+        ``count_above(t)`` is the running count of objective-violating
+        ops.  Exact for buckets that still carry their value map; a
+        collapsed bucket straddling the threshold contributes all of its
+        samples when its recorded minimum exceeds the threshold, none
+        when its maximum does not, and a count-weighted half otherwise
+        (within the bucket's ~0.5% relative width).
+        """
+        above = 0
+        for bucket in self._buckets.values():
+            count, low, high, values = bucket
+            if low > threshold:
+                above += count
+            elif high <= threshold:
+                continue
+            elif values is not None:
+                above += sum(n for v, n in values.items() if v > threshold)
+            else:
+                above += count // 2
+        return above
+
+    def fraction_above(self, threshold: float) -> float:
+        """``count_above(threshold) / count`` (0 when empty)."""
+        if self.count == 0:
+            return 0.0
+        return self.count_above(threshold) / self.count
+
     def snapshot(self) -> dict:
         """Summary dict for reports and trajectory files."""
         return {

@@ -36,6 +36,41 @@ class Failable(Protocol):
         """Transition the node to the failed state."""
 
 
+# Process-wide fault observer (same latest-wins install pattern as the
+# tracer in repro.obs.trace): when set, every injected kill, every
+# degradation, and every fault-plan rule that fires is reported to it as
+# ``observer(kind, detail)``.  The monitoring plane's flight recorder
+# hooks in here to stamp fault times and snapshot post-mortems; with no
+# observer installed the cost is one ``is None`` check.
+_FAULT_OBSERVER: Callable[[str, dict[str, Any]], None] | None = None
+
+
+def set_fault_observer(observer: Callable[[str, dict[str, Any]], None]) -> None:
+    """Install ``observer`` as the process-wide fault observer."""
+    global _FAULT_OBSERVER
+    _FAULT_OBSERVER = observer
+
+
+def clear_fault_observer(
+    observer: Callable[[str, dict[str, Any]], None] | None = None,
+) -> None:
+    """Remove the installed fault observer.
+
+    Passing an observer clears only if it is still the installed one, so
+    tearing down an old cluster cannot unhook a newer cluster's monitor.
+    """
+    global _FAULT_OBSERVER
+    if observer is not None and _FAULT_OBSERVER is not observer:
+        return
+    _FAULT_OBSERVER = None
+
+
+def _notify_fault(kind: str, detail: dict[str, Any]) -> None:
+    observer = _FAULT_OBSERVER
+    if observer is not None:
+        observer(kind, detail)
+
+
 class FailureInjector:
     """Registry of failable nodes with kill/revive/degrade bookkeeping.
 
@@ -76,6 +111,7 @@ class FailureInjector:
         node.fail()
         self.killed.append(name)
         self.kill_history.append(name)
+        _notify_fault("kill", {"node": name})
 
     def revive(self, name: str) -> None:
         """Bring a killed node back up and clear it from ``killed``.
@@ -115,6 +151,7 @@ class FailureInjector:
             self.degraded.pop(name, None)
         else:
             self.degraded[name] = factor
+            _notify_fault("degrade", {"node": name, "factor": factor})
 
     def is_alive(self, name: str) -> bool:
         """Whether the named node is currently up."""
@@ -215,6 +252,9 @@ class FaultPlan:
             if due:
                 rule.fired += 1
                 self.fired.append((point, dict(ctx)))
+                # Observed *before* the action runs: the flight recorder's
+                # snapshot must show the cluster as the crash found it.
+                _notify_fault(f"crash-point:{point}", dict(ctx))
                 rule.action(ctx)
 
 

@@ -182,6 +182,11 @@ class HealthMonitor:
         self._node_latency: dict[str, LatencyEwma] = {}
         self._breakers: dict[str, CircuitBreaker] = {}
 
+    def breaker_states(self) -> dict[str, str]:
+        """``{node name: breaker state}`` for every observed node (the
+        monitoring scraper's circuit-breaker gauge source)."""
+        return {name: b.state for name, b in sorted(self._breakers.items())}
+
     def breaker(self, name: str) -> CircuitBreaker:
         """The (lazily created) breaker guarding ``name``."""
         breaker = self._breakers.get(name)
@@ -268,6 +273,9 @@ class AdmissionController:
         self.default_service = default_service
         self.service = LatencyEwma(alpha)
         self.shed_count = 0
+        # Newest queue depth seen by admit(); the monitoring scraper reads
+        # it as the backlog gauge.  Pure bookkeeping, no simulated cost.
+        self.last_depth = 0.0
 
     def _service_time(self) -> float:
         value = self.service.value
@@ -294,6 +302,7 @@ class AdmissionController:
                 excess backlog, so one honored hint re-admits the caller.
         """
         depth = self.queue_depth(arrival_now, server_now)
+        self.last_depth = depth
         if depth <= self.max_queue:
             return
         self.shed_count += 1

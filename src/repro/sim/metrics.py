@@ -221,6 +221,23 @@ SPAN_FOLLOWER_TAIL = REGISTRY.register("follower.tail")
 SPAN_FOLLOWER_READ = REGISTRY.register("follower.read")
 HIST_REPLICA_LAG = REGISTRY.register("latency.replica.lag")
 
+# Canonical names for the cluster monitoring plane (PR 11).  Gauges are
+# point-in-time health readings sampled by the scraper on every cluster
+# heartbeat; they share one schema with the stats report (see
+# ``repro.obs.monitor.collect_health_gauges``) so the two can never
+# disagree.  ``slo.`` series carry cumulative good/bad op counts per SLO
+# objective, from which the alert engine computes burn rates.
+GAUGE_SERVER_UP = REGISTRY.register("gauge.server_up")
+GAUGE_RECOVERY_QUEUE = REGISTRY.register("gauge.recovery_queue")
+GAUGE_LEASE_HEALTH = REGISTRY.register("gauge.lease_health")
+GAUGE_ADMISSION_BACKLOG = REGISTRY.register("gauge.admission_backlog")
+GAUGE_BREAKER_OPEN = REGISTRY.register("gauge.breaker_open")
+GAUGE_BLOCKCACHE_HIT_RATE = REGISTRY.register("gauge.blockcache_hit_rate")
+GAUGE_COMPACTION_DEBT = REGISTRY.register("gauge.compaction_debt_bytes")
+GAUGE_REPLICA_LAG = REGISTRY.register("gauge.replica_lag")
+GAUGE_TABLET_HEAT = REGISTRY.register("gauge.tablet_heat")
+SLO_PREFIX = REGISTRY.register_prefix("slo.")
+
 REGISTRY.freeze()
 
 
@@ -267,6 +284,24 @@ class Counters:
     def snapshot(self) -> dict[str, float]:
         """A copy of all counters, for reporting."""
         return dict(self._values)
+
+    def delta_since(self, snapshot: dict[str, float]) -> dict[str, float]:
+        """Per-counter change since an earlier :meth:`snapshot`.
+
+        Returns only counters that moved (nonzero delta).  Counters are
+        monotonic in practice, but a :meth:`reset` between snapshots can
+        produce negative deltas; they are reported as-is so callers can
+        notice the reset instead of silently reading garbage.
+        """
+        delta: dict[str, float] = {}
+        for name, value in self._values.items():
+            change = value - snapshot.get(name, 0.0)
+            if change != 0.0:
+                delta[name] = change
+        for name, value in snapshot.items():
+            if name not in self._values and value != 0.0:
+                delta[name] = -value
+        return delta
 
     def __iter__(self) -> Iterator[tuple[str, float]]:
         return iter(sorted(self._values.items()))

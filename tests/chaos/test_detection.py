@@ -1,0 +1,84 @@
+"""The detection oracle as a test: every seeded fault schedule must fire
+its matching alert within the family budget, and every clean twin must
+stay silent."""
+
+import pytest
+
+from repro.chaos.detection import (
+    DETECTION_BUDGETS,
+    EXPECTED_ALERTS,
+    detection_latency_from_report,
+    run_clean_twin,
+    run_detection,
+)
+from repro.chaos.gray import GRAY_SCHEDULES
+from repro.chaos.migration import MIGRATION_SCENARIOS
+from repro.chaos.recovery import RECOVERY_SCENARIOS
+from repro.chaos.replica import REPLICA_SCENARIOS
+
+_FAMILY_SCENARIOS = {
+    "gray": GRAY_SCHEDULES,
+    "migration": MIGRATION_SCENARIOS,
+    "recovery": RECOVERY_SCENARIOS,
+    "replica": REPLICA_SCENARIOS,
+}
+
+
+def test_matrix_covers_every_fault_schedule():
+    """Every scenario that injects a fault has an expected alert; the one
+    deliberate exception (fencing-on-migration injects no fault) is the
+    only scenario absent."""
+    all_scenarios = {
+        (family, scenario)
+        for family, scenarios in _FAMILY_SCENARIOS.items()
+        for scenario in scenarios
+    }
+    missing = all_scenarios - set(EXPECTED_ALERTS)
+    assert missing == {("replica", "fencing-on-migration")}
+    # And the matrix never names a scenario that doesn't exist.
+    assert set(EXPECTED_ALERTS) <= all_scenarios
+    assert set(DETECTION_BUDGETS) == set(_FAMILY_SCENARIOS)
+
+
+@pytest.mark.parametrize(
+    ("family", "scenario"), sorted(EXPECTED_ALERTS), ids="/".join
+)
+def test_fault_detected_within_budget(family, scenario):
+    result = run_detection(family, scenario, seed=1, clean_twin=False)
+    assert result.run_passed, f"underlying chaos contract failed: {scenario}"
+    assert result.fault_times, "monitor observed no fault"
+    assert result.detection_latency is not None, (
+        f"expected {result.expected_alert!r} never fired "
+        f"(fired: {result.fired})"
+    )
+    assert result.detection_latency <= result.budget
+
+
+@pytest.mark.parametrize("family", sorted(_FAMILY_SCENARIOS), ids=str)
+def test_clean_twin_raises_no_alerts(family):
+    # One control per family keeps the suite fast; the full cross product
+    # runs in bench_monitoring.
+    scenario = sorted(
+        s for f, s in EXPECTED_ALERTS if f == family
+    )[0]
+    alerts = run_clean_twin(family, scenario, seed=1)
+    assert alerts == [], f"clean {family} run raised {alerts}"
+
+
+def test_detection_latency_helper_edge_cases():
+    class FakeReport:
+        fault_times = [2.0, 5.0]
+        alerts = [
+            {"state": "firing", "alert": "server-down", "time": 1.0},  # pre-fault
+            {"state": "resolved", "alert": "server-down", "time": 2.5},
+            {"state": "firing", "alert": "server-down", "time": 3.0},
+        ]
+
+    assert detection_latency_from_report(FakeReport(), "server-down") == 1.0
+    assert detection_latency_from_report(FakeReport(), "no-such-alert") is None
+
+    class NoFaults:
+        fault_times = []
+        alerts = FakeReport.alerts
+
+    assert detection_latency_from_report(NoFaults(), "server-down") is None

@@ -62,3 +62,22 @@ def test_secondary_index_count(db):
         server.create_secondary_index("events", "meta", "source")
     stats = collect_server_stats(db.cluster.servers[0])
     assert stats.secondary_indexes == 1
+
+
+def test_health_comes_from_the_shared_gauge_schema(db):
+    from repro.obs.monitor import gauges_by_entity
+
+    db.put("events", b"000000000001", {"payload": {"body": b"v"}})
+    db.cluster.heartbeat()
+    stats = collect_cluster_stats(db.cluster)
+    assert stats.health == gauges_by_entity(db.cluster)
+    for server in db.cluster.servers:
+        assert stats.health[server.name]["gauge.server_up"] == 1.0
+    text = format_stats(stats)
+    assert "health" in text and "server_up=1" in text
+
+
+def test_down_server_health_gauge_reads_zero(db):
+    db.cluster.servers[0].crash()
+    stats = collect_cluster_stats(db.cluster)
+    assert stats.health[db.cluster.servers[0].name]["gauge.server_up"] == 0.0

@@ -1,0 +1,167 @@
+"""Unit tests for the SLO/alert engine (threshold and burn-rate rules)."""
+
+from repro.obs.alerts import CLUSTER_ENTITY, AlertEngine, SloRule, ThresholdRule
+from repro.obs.timeseries import MetricStore
+
+
+def _engine(*rules, **kwargs):
+    return AlertEngine(rules=list(rules), **kwargs)
+
+
+def test_threshold_fires_per_entity():
+    engine = _engine(
+        ThresholdRule(
+            name="server-down",
+            metric="gauge.server_up",
+            op="<",
+            threshold=0.5,
+            absent_value=1.0,
+        )
+    )
+    store = MetricStore(capacity=8)
+    store.record("node-0", "gauge.server_up", 1.0, 1.0)
+    store.record("node-1", "gauge.server_up", 1.0, 0.0)
+    fired = engine.evaluate(store, 1.0)
+    assert [(a["alert"], a["entity"]) for a in fired] == [("server-down", "node-1")]
+    assert fired[0]["state"] == "firing"
+    assert fired[0]["severity"] == "page"
+
+
+def test_threshold_resolves_with_duration():
+    engine = _engine(
+        ThresholdRule(name="hot", metric="gauge.tablet_heat", op=">", threshold=5.0)
+    )
+    store = MetricStore(capacity=8)
+    store.record("t1", "gauge.tablet_heat", 1.0, 9.0)
+    assert engine.evaluate(store, 1.0)
+    store.record("t1", "gauge.tablet_heat", 4.0, 2.0)
+    assert engine.evaluate(store, 4.0) == []  # resolutions are not returned
+    assert engine.firing() == []
+    resolved = [r for r in engine.log if r["state"] == "resolved"]
+    assert len(resolved) == 1
+    assert resolved[0]["duration"] == 3.0
+
+
+def test_sustained_for_delays_firing():
+    engine = _engine(
+        ThresholdRule(
+            name="backlog",
+            metric="gauge.recovery_queue",
+            op=">",
+            threshold=0.0,
+            sustained_for=2.0,
+        )
+    )
+    store = MetricStore(capacity=8)
+    for t in (0.0, 1.0):
+        store.record("node-0", "gauge.recovery_queue", t, 3.0)
+        assert engine.evaluate(store, t) == []
+    store.record("node-0", "gauge.recovery_queue", 2.0, 3.0)
+    fired = engine.evaluate(store, 2.0)
+    assert [a["alert"] for a in fired] == ["backlog"]
+
+
+def test_breach_interruption_resets_sustained_clock():
+    engine = _engine(
+        ThresholdRule(
+            name="backlog",
+            metric="gauge.recovery_queue",
+            op=">",
+            threshold=0.0,
+            sustained_for=2.0,
+        )
+    )
+    store = MetricStore(capacity=8)
+    store.record("node-0", "gauge.recovery_queue", 0.0, 3.0)
+    engine.evaluate(store, 0.0)
+    store.record("node-0", "gauge.recovery_queue", 1.0, 0.0)  # recovers
+    engine.evaluate(store, 1.0)
+    store.record("node-0", "gauge.recovery_queue", 2.0, 3.0)  # breaches again
+    assert engine.evaluate(store, 2.0) == []  # clock restarted at t=2
+    store.record("node-0", "gauge.recovery_queue", 4.0, 3.0)
+    assert engine.evaluate(store, 4.0)
+
+
+def test_stale_sample_decays_to_absent_value():
+    """A firing entity whose series stops being scraped resolves via
+    ``absent_value`` (server-up style: no sample this tick means up)."""
+    engine = _engine(
+        ThresholdRule(
+            name="server-down",
+            metric="gauge.server_up",
+            op="<",
+            threshold=0.5,
+            absent_value=1.0,
+        )
+    )
+    store = MetricStore(capacity=8)
+    store.record("node-0", "gauge.server_up", 1.0, 0.0)
+    assert engine.evaluate(store, 1.0)
+    # Tick 2: nothing recorded for node-0 — the stale t=1 sample must not
+    # keep the alert alive.
+    assert engine.evaluate(store, 2.0) == []
+    assert engine.firing() == []
+
+
+def test_counter_delta_absent_means_quiet():
+    """Delta series default ``absent_value=0``: a quiet tick resolves."""
+    engine = _engine(
+        ThresholdRule(name="burst", metric="net.messages", op=">", threshold=10.0)
+    )
+    store = MetricStore(capacity=8)
+    store.record("node-0", "net.messages", 1.0, 50.0)
+    assert engine.evaluate(store, 1.0)
+    assert engine.evaluate(store, 2.0) == []
+    assert engine.firing() == []
+
+
+def test_slo_rule_burn_rate():
+    rule = SloRule(
+        name="slo-burn-op.put",
+        op_class="op.put",
+        target_seconds=0.05,
+        objective=0.99,
+        burn_threshold=10.0,
+        window=30.0,
+        min_samples=5,
+    )
+    engine = _engine(rule)
+    store = MetricStore(capacity=32)
+    # 100 ops, 1 bad: burn = (1/100)/0.01 = 1.0 — under threshold.
+    store.record(CLUSTER_ENTITY, rule.count_series, 1.0, 100.0)
+    store.record(CLUSTER_ENTITY, rule.bad_series, 1.0, 1.0)
+    assert engine.evaluate(store, 1.0) == []
+    # 20 more ops, 15 bad: window burn >> 10x.
+    store.record(CLUSTER_ENTITY, rule.count_series, 2.0, 120.0)
+    store.record(CLUSTER_ENTITY, rule.bad_series, 2.0, 16.0)
+    fired = engine.evaluate(store, 2.0)
+    assert [a["alert"] for a in fired] == ["slo-burn-op.put"]
+    assert fired[0]["entity"] == CLUSTER_ENTITY
+
+
+def test_slo_rule_needs_min_samples():
+    rule = SloRule(
+        name="slo-burn-op.get",
+        op_class="op.get",
+        target_seconds=0.05,
+        min_samples=50,
+    )
+    engine = _engine(rule)
+    store = MetricStore(capacity=32)
+    store.record(CLUSTER_ENTITY, rule.count_series, 1.0, 10.0)
+    store.record(CLUSTER_ENTITY, rule.bad_series, 1.0, 10.0)  # 100% bad
+    assert engine.evaluate(store, 1.0) == []
+
+
+def test_alert_log_is_bounded():
+    engine = _engine(
+        ThresholdRule(name="flap", metric="gauge.tablet_heat", op=">", threshold=0.0),
+        max_log=4,
+    )
+    store = MetricStore(capacity=8)
+    for i in range(8):
+        t = float(i)
+        store.record("t1", "gauge.tablet_heat", t, 1.0 if i % 2 == 0 else 0.0)
+        engine.evaluate(store, t)
+    assert len(engine.log) <= 4
+    assert engine.fired_names() == {"flap"}

@@ -92,3 +92,54 @@ def test_registry_rejects_unknown_metric_names():
     registry = HistogramRegistry()
     with pytest.raises(ValueError):
         registry.histogram("totally.unknown.series")
+
+
+def test_quantile_at_rank_boundaries():
+    # Nearest-rank at the exact edges: q=0 is the min, q=1 the max, and
+    # a q landing exactly on a rank boundary picks that rank's value.
+    hist = Histogram("latency.op.get", growth=2.0)
+    for value in (1.0, 2.0, 3.0, 4.0):
+        hist.record(value)
+    assert hist.percentile(0.0) == 1.0
+    assert hist.percentile(1.0) == 4.0
+    assert hist.percentile(1.0 / 3.0) == 2.0  # rank exactly 1
+    assert hist.percentile(2.0 / 3.0) == 3.0  # rank exactly 2
+
+
+def test_single_bucket_histogram_quantiles():
+    # Every sample in one geometric bucket: the exact value map still
+    # resolves all quantiles, including both boundaries.
+    hist = Histogram("latency.op.get", growth=10.0, floor=1.0)
+    for value in (1.5, 2.0, 2.5, 3.0):
+        hist.record(value)
+    assert len(hist._buckets) == 1
+    assert hist.percentile(0.0) == 1.5
+    assert hist.percentile(1.0 / 3.0) == 2.0
+    assert hist.percentile(1.0) == 3.0
+
+
+def test_count_above_empty_histogram():
+    hist = Histogram("latency.op.get")
+    assert hist.count_above(0.0) == 0
+    assert hist.fraction_above(0.0) == 0.0
+
+
+def test_count_above_is_strict_and_exact_with_value_maps():
+    hist = Histogram("latency.op.get", growth=2.0)
+    for value in (1.0, 1.1, 1.2, 1.3, 1.4):
+        hist.record(value)
+    assert hist.count_above(0.5) == 5  # whole bucket above
+    assert hist.count_above(1.2) == 2  # strictly greater: 1.2 excluded
+    assert hist.count_above(1.4) == 0  # threshold at the max
+    assert hist.fraction_above(1.2) == pytest.approx(0.4)
+
+
+def test_count_above_collapsed_bucket_approximates():
+    hist = Histogram("latency.op.get", growth=2.0, exact_cap=2)
+    for value in (1.0, 1.1, 1.2, 1.3, 1.4):
+        hist.record(value)
+    # Below the bucket minimum / above its maximum stay exact...
+    assert hist.count_above(0.5) == 5
+    assert hist.count_above(1.4) == 0
+    # ...and a straddling threshold contributes the count-weighted half.
+    assert hist.count_above(1.2) == 5 // 2

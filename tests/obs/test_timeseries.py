@@ -1,0 +1,80 @@
+"""Unit tests for the fixed-capacity time series and the metric store."""
+
+import pytest
+
+from repro.obs.timeseries import MetricStore, TimeSeries
+
+
+def test_series_records_in_order():
+    series = TimeSeries("node-0", "disk.seeks", capacity=8)
+    series.record(1.0, 10.0)
+    series.record(2.0, 20.0)
+    assert series.samples() == [(1.0, 10.0), (2.0, 20.0)]
+    assert series.latest() == (2.0, 20.0)
+    assert len(series) == 2
+
+
+def test_ring_overwrites_oldest_at_capacity():
+    series = TimeSeries("node-0", "disk.seeks", capacity=3)
+    for i in range(5):
+        series.record(float(i), float(i * 10))
+    assert len(series) == 3
+    assert series.samples() == [(2.0, 20.0), (3.0, 30.0), (4.0, 40.0)]
+    assert series.latest() == (4.0, 40.0)
+
+
+def test_empty_series():
+    series = TimeSeries("node-0", "disk.seeks", capacity=4)
+    assert series.latest() is None
+    assert series.samples() == []
+    assert series.window(0.0) == []
+
+
+def test_window_selects_samples_at_or_after_since():
+    series = TimeSeries("node-0", "disk.seeks", capacity=16)
+    for i in range(10):
+        series.record(float(i), float(i))
+    assert series.window(7.0) == [(7.0, 7.0), (8.0, 8.0), (9.0, 9.0)]
+    assert series.window(100.0) == []
+
+
+def test_tail_returns_newest_n():
+    series = TimeSeries("node-0", "disk.seeks", capacity=4)
+    for i in range(6):
+        series.record(float(i), float(i))
+    assert series.tail(2) == [(4.0, 4.0), (5.0, 5.0)]
+    assert series.tail(100) == series.samples()
+
+
+def test_capacity_must_be_positive():
+    with pytest.raises(ValueError):
+        TimeSeries("node-0", "disk.seeks", capacity=0)
+
+
+def test_store_keys_series_by_entity_and_metric():
+    store = MetricStore(capacity=8)
+    store.record("node-0", "disk.seeks", 1.0, 5.0)
+    store.record("node-1", "disk.seeks", 1.0, 7.0)
+    store.record("node-0", "net.messages", 2.0, 1.0)
+    assert store.latest("node-0", "disk.seeks") == 5.0
+    assert store.latest("node-1", "disk.seeks") == 7.0
+    assert store.latest("node-2", "disk.seeks") is None
+    assert sorted(store.entities_for("disk.seeks")) == ["node-0", "node-1"]
+    assert sorted(store.metric_names()) == ["disk.seeks", "net.messages"]
+    assert len(store.keys()) == 3
+
+
+def test_store_rejects_unregistered_metric_names():
+    store = MetricStore(capacity=8)
+    with pytest.raises(ValueError):
+        store.record("node-0", "not.a.registered.metric", 1.0, 1.0)
+
+
+def test_store_tails_bundle_newest_samples_per_entity():
+    store = MetricStore(capacity=8)
+    for i in range(5):
+        store.record("node-0", "disk.seeks", float(i), float(i))
+    store.record("node-1", "net.messages", 9.0, 3.0)
+    tails = store.tails(2)
+    assert tails["node-0"]["disk.seeks"] == [(3.0, 3.0), (4.0, 4.0)]
+    assert tails["node-1"]["net.messages"] == [(9.0, 3.0)]

@@ -94,3 +94,41 @@ def test_fresh_registry_lifecycle():
     assert registry.validate("c.suffix") == "c.suffix"
     registry.freeze()
     assert registry.frozen
+
+
+def test_delta_since_reports_only_moved_counters():
+    counters = Counters()
+    counters.add("disk.seeks", 3)
+    counters.add("net.messages", 5)
+    snapshot = counters.snapshot()
+    counters.add("disk.seeks", 2)
+    counters.add("cache.hits", 7)
+    delta = counters.delta_since(snapshot)
+    assert delta == {"disk.seeks": 2.0, "cache.hits": 7.0}
+    assert "net.messages" not in delta  # unchanged: no entry
+
+
+def test_delta_since_empty_snapshot_is_full_state():
+    counters = Counters()
+    counters.add("disk.seeks", 4)
+    assert counters.delta_since({}) == {"disk.seeks": 4.0}
+    assert Counters().delta_since({}) == {}
+
+
+def test_delta_since_surfaces_resets_as_negative():
+    counters = Counters()
+    counters.add("disk.seeks", 10)
+    snapshot = counters.snapshot()
+    counters.reset()
+    counters.add("disk.seeks", 3)
+    assert counters.delta_since(snapshot) == {"disk.seeks": -7.0}
+
+
+def test_delta_since_counter_vanished_after_reset():
+    counters = Counters()
+    counters.add("net.messages", 6)
+    snapshot = counters.snapshot()
+    counters.reset()
+    # The counter no longer exists at all: the full old value comes back
+    # as a negative delta so callers can notice the reset.
+    assert counters.delta_since(snapshot) == {"net.messages": -6.0}
